@@ -1,0 +1,106 @@
+package caesar
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/experiments"
+)
+
+// benchScale sizes the per-figure benchmarks so the whole suite
+// completes in minutes. cmd/experiments -scale full runs the
+// paper-proportioned sweeps.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:       "bench",
+		LRDuration: 420,
+		LRSegments: 3,
+		Workers:    4,
+		MaxQueries: 6,
+		MaxRoads:   3,
+		MaxOps:     17,
+		MaxOverlap: 8,
+	}
+}
+
+// benchFigure runs one figure regeneration per iteration.
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Run(id, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("figure %s produced no rows", id)
+		}
+	}
+}
+
+// One benchmark per table/figure of the paper's evaluation (§7).
+
+func BenchmarkFig10a(b *testing.B) { benchFigure(b, "10a") } // events per segment
+func BenchmarkFig10b(b *testing.B) { benchFigure(b, "10b") } // events per minute
+func BenchmarkFig11a(b *testing.B) { benchFigure(b, "11a") } // optimizer search
+func BenchmarkFig11b(b *testing.B) { benchFigure(b, "11b") } // L-factor
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, "12a") } // query workload CA vs CI
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, "12b") } // stream rate CA vs CI
+func BenchmarkFig12c(b *testing.B) { benchFigure(b, "12c") } // window length
+func BenchmarkFig12d(b *testing.B) { benchFigure(b, "12d") } // window count
+func BenchmarkFig13(b *testing.B)  { benchFigure(b, "13") }  // window distributions
+func BenchmarkFig14a(b *testing.B) { benchFigure(b, "14a") } // overlap count sharing
+func BenchmarkFig14b(b *testing.B) { benchFigure(b, "14b") } // overlap length sharing
+func BenchmarkFig14c(b *testing.B) { benchFigure(b, "14c") } // shared workload size
+
+// Engine micro-benchmarks: end-to-end throughput of the strategies
+// the paper compares, on a fixed Linear Road stream.
+
+func lrBenchEngine(b *testing.B, cfg Config) (*Engine, []*Event) {
+	b.Helper()
+	eng, err := NewFromSource(LinearRoadModel(4), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := LinearRoadDefaults()
+	gen.Segments = 4
+	gen.Duration = 600
+	events, err := GenerateLinearRoad(gen, eng.Registry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return eng, events
+}
+
+func runEngineBench(b *testing.B, cfg Config) {
+	eng, events := lrBenchEngine(b, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Run(NewSliceSource(events))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.OutputCount == 0 {
+			b.Fatal("no outputs")
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events/op")
+}
+
+func BenchmarkEngineContextAware(b *testing.B) {
+	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 4})
+}
+
+func BenchmarkEngineContextAwareShared(b *testing.B) {
+	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 4, Sharing: true})
+}
+
+func BenchmarkEngineContextIndependent(b *testing.B) {
+	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 4, ContextIndependent: true})
+}
+
+func BenchmarkEngineNoPushDown(b *testing.B) {
+	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 4, DisablePushDown: true})
+}
+
+func BenchmarkEngineSingleWorker(b *testing.B) {
+	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 1})
+}

@@ -1,0 +1,152 @@
+// Command caesar runs a CAESAR model over an event stream and prints
+// the derived complex events plus run statistics.
+//
+// Usage:
+//
+//	caesar -model traffic.caesar -partition-by xway,dir,seg < traffic.evs
+//	lrgen | caesar -model <(lrgen -model) -partition-by xway,dir,seg -quiet
+//
+// Flags select the execution strategy the paper evaluates:
+// -baseline runs the context-independent strategy, -no-pushdown keeps
+// context windows above the patterns, -share merges the workloads of
+// overlapping contexts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/core"
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/server"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "path to the .caesar model file (required)")
+	partitionBy := flag.String("partition-by", "", "comma-separated partition key attributes")
+	baseline := flag.Bool("baseline", false, "run the context-independent baseline")
+	noPushdown := flag.Bool("no-pushdown", false, "disable context window push-down")
+	share := flag.Bool("share", false, "enable context workload sharing")
+	workers := flag.Int("workers", 4, "worker pool size")
+	pacing := flag.Duration("pacing", 0, "wall time per application time unit (0 = as fast as possible)")
+	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
+	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
+	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
+	flag.Parse()
+
+	if *modelPath == "" {
+		fmt.Fprintln(os.Stderr, "caesar: -model is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*modelPath)
+	if err != nil {
+		fail(err)
+	}
+	m, err := model.CompileSource(string(src))
+	if err != nil {
+		fail(err)
+	}
+	if *dot {
+		fmt.Print(m.DOT())
+		return
+	}
+	var keys []string
+	if *partitionBy != "" {
+		keys = strings.Split(*partitionBy, ",")
+	}
+	if *listen != "" {
+		serve(m, *listen, keys, *baseline, *noPushdown, *share, *workers, *pacing)
+		return
+	}
+	out := event.NewWriter(os.Stdout)
+	cfg := core.Config{
+		ContextIndependent: *baseline,
+		Sharing:            *share,
+		DisablePushDown:    *noPushdown,
+		PartitionBy:        keys,
+		Workers:            *workers,
+		Pacing:             *pacing,
+	}
+	if !*quiet {
+		var mu sync.Mutex
+		cfg.OnOutput = func(e *event.Event) {
+			// Called concurrently from worker goroutines.
+			mu.Lock()
+			_ = out.Write(e)
+			mu.Unlock()
+		}
+	}
+	eng, err := core.NewEngine(m, cfg)
+	if err != nil {
+		fail(err)
+	}
+	r := event.NewReader(os.Stdin, m.Registry)
+	start := time.Now()
+	st, err := eng.Run(r)
+	if err != nil {
+		fail(err)
+	}
+	_ = out.Flush()
+	fmt.Fprintf(os.Stderr,
+		"caesar: %d events in, %d derived, %d partitions, %d transitions\n",
+		st.Events, st.OutputCount, st.Partitions, st.Transitions)
+	fmt.Fprintf(os.Stderr,
+		"caesar: max latency %v, mean %v, suspended-plan skips %d, wall %v\n",
+		st.MaxLatency.Round(time.Microsecond), st.MeanLatency.Round(time.Microsecond),
+		st.SuspendedSkips, time.Since(start).Round(time.Millisecond))
+	for _, ty := range sortedKeys(st.PerType) {
+		fmt.Fprintf(os.Stderr, "caesar:   %s: %d\n", ty, st.PerType[ty])
+	}
+}
+
+// serve runs the TCP session server (see internal/server): each
+// connection streams events in and derived events out.
+func serve(m *model.Model, addr string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration) {
+	srv, err := server.New(server.Config{
+		Model: m,
+		Engine: core.Config{
+			ContextIndependent: baseline,
+			DisablePushDown:    noPushdown,
+			Sharing:            share,
+			PartitionBy:        keys,
+			Workers:            workers,
+			Pacing:             pacing,
+		},
+	})
+	if err != nil {
+		fail(err)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "caesar: serving stream sessions on %s\n", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		fail(err)
+	}
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "caesar:", err)
+	os.Exit(1)
+}

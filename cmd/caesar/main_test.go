@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmd compiles a command of this module into dir and returns the
+// binary path.
+func buildCmd(t *testing.T, dir, pkg string) string {
+	t.Helper()
+	bin := filepath.Join(dir, filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cmd/caesar -> module root is two levels up.
+	return filepath.Dir(filepath.Dir(dir))
+}
+
+// TestPipelineEndToEnd drives the full CLI workflow: lrgen generates
+// a model and a stream, caesar runs the stream against the model.
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	lrgen := buildCmd(t, dir, "./cmd/lrgen")
+	caesarBin := buildCmd(t, dir, "./cmd/caesar")
+
+	modelOut, err := exec.Command(lrgen, "-model").Output()
+	if err != nil {
+		t.Fatalf("lrgen -model: %v", err)
+	}
+	modelPath := filepath.Join(dir, "traffic.caesar")
+	if err := os.WriteFile(modelPath, modelOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	genCmd := exec.Command(lrgen, "-roads", "1", "-segments", "4", "-duration", "600")
+	events, err := genCmd.Output()
+	if err != nil {
+		t.Fatalf("lrgen: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("lrgen produced no events")
+	}
+
+	run := exec.Command(caesarBin, "-model", modelPath, "-partition-by", "xway,dir,seg", "-quiet")
+	run.Stdin = bytes.NewReader(events)
+	var stderr bytes.Buffer
+	run.Stderr = &stderr
+	if err := run.Run(); err != nil {
+		t.Fatalf("caesar: %v\n%s", err, stderr.String())
+	}
+	logs := stderr.String()
+	for _, want := range []string{"derived", "TollNotification", "suspended-plan skips"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("caesar stderr missing %q:\n%s", want, logs)
+		}
+	}
+
+	// Baseline mode runs too and reports zero suspensions.
+	base := exec.Command(caesarBin, "-model", modelPath, "-partition-by", "xway,dir,seg", "-quiet", "-baseline")
+	base.Stdin = bytes.NewReader(events)
+	stderr.Reset()
+	base.Stderr = &stderr
+	if err := base.Run(); err != nil {
+		t.Fatalf("caesar -baseline: %v\n%s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "suspended-plan skips 0") {
+		t.Errorf("baseline should suspend nothing:\n%s", stderr.String())
+	}
+
+	// DOT export.
+	dot := exec.Command(caesarBin, "-model", modelPath, "-dot")
+	dotOut, err := dot.Output()
+	if err != nil {
+		t.Fatalf("caesar -dot: %v", err)
+	}
+	if !strings.Contains(string(dotOut), "digraph caesar") {
+		t.Errorf("dot output:\n%s", dotOut)
+	}
+}
+
+func TestCaesarUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	caesarBin := buildCmd(t, dir, "./cmd/caesar")
+	if err := exec.Command(caesarBin).Run(); err == nil {
+		t.Error("missing -model accepted")
+	}
+	if err := exec.Command(caesarBin, "-model", "/nonexistent.caesar").Run(); err == nil {
+		t.Error("missing model file accepted")
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	expBin := buildCmd(t, dir, "./cmd/experiments")
+	out, err := exec.Command(expBin, "-list").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "12a") {
+		t.Errorf("-list output: %s", out)
+	}
+	if err := exec.Command(expBin, "-fig", "nope", "-scale", "quick").Run(); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if err := exec.Command(expBin, "-fig", "10a", "-scale", "bogus").Run(); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	fig, err := exec.Command(expBin, "-fig", "10a", "-scale", "quick").Output()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(fig), "== fig10a:") {
+		t.Errorf("figure output: %s", fig)
+	}
+}

@@ -1,0 +1,56 @@
+// Command experiments regenerates the tables and figures of the
+// CAESAR evaluation (paper §7).
+//
+// Usage:
+//
+//	experiments -fig 12a            # one figure, full scale
+//	experiments -fig all -scale quick
+//	experiments -list
+//
+// Figure ids: 10a 10b 11a 11b 12a 12b 12c 12d 13 14a 14b 14c summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure id to regenerate, or 'all'")
+	scaleName := flag.String("scale", "full", "sweep scale: quick or full")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
+	}
+
+	if *fig == "all" {
+		if err := experiments.RunAll(scale, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	t, err := experiments.Run(*fig, scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	t.Print(os.Stdout)
+}

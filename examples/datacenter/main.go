@@ -1,0 +1,119 @@
+// Datacenter monitoring: tumbling-window aggregation driving context
+// transitions.
+//
+// Hosts stream per-second telemetry. A TUMBLE query condenses each
+// host's raw samples into 30-second load summaries; the summaries
+// drive the host between the "nominal", "hot" and "saturated"
+// contexts. Expensive diagnostics (a sequence pattern correlating
+// load spikes with error bursts) run only in the saturated context.
+//
+//	go run ./examples/datacenter
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	caesar "github.com/caesar-cep/caesar"
+)
+
+const model = `
+EVENT Sample(host int, cpu int, errs int, sec int)
+EVENT Load(host int, avgCpu float, peakCpu int, errSum int, sec int)
+EVENT Diagnosis(host int, peakCpu int, errSum int, sec int)
+EVENT Page(host int, sec int)
+
+CONTEXT nominal DEFAULT
+CONTEXT hot
+CONTEXT saturated
+
+# Condense raw samples into 30 s load summaries; runs in all contexts.
+DERIVE Load(s.host, avg(s.cpu), max(s.cpu), sum(s.errs), s.sec)
+PATTERN Sample s
+TUMBLE 30
+CONTEXT nominal, hot, saturated
+
+SWITCH CONTEXT hot
+PATTERN Load l
+WHERE l.avgCpu >= 70 AND l.avgCpu < 90
+CONTEXT nominal
+
+SWITCH CONTEXT nominal
+PATTERN Load l
+WHERE l.avgCpu < 70
+CONTEXT hot, saturated
+
+SWITCH CONTEXT saturated
+PATTERN Load l
+WHERE l.avgCpu >= 90
+CONTEXT nominal, hot
+
+# Diagnostics only while saturated: two consecutive summaries with
+# error bursts.
+DERIVE Diagnosis(l2.host, l2.peakCpu, l2.errSum, l2.sec)
+PATTERN SEQ(Load l1, Load l2)
+WHERE l1.host = l2.host AND l1.errSum > 5 AND l2.errSum > 5
+WITHIN 90
+CONTEXT saturated
+
+# Page the operator on any error burst while saturated.
+DERIVE Page(l.host, l.sec)
+PATTERN Load l
+WHERE l.errSum > 10
+CONTEXT saturated
+`
+
+func main() {
+	eng, err := caesar.NewFromSource(model, caesar.Config{
+		PartitionBy:    []string{"host"},
+		CollectOutputs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sample, _ := eng.Registry().Lookup("Sample")
+	rng := rand.New(rand.NewSource(3))
+
+	// Three hosts: host 0 stays nominal, host 1 runs hot, host 2
+	// saturates mid-run with error bursts.
+	var events []*caesar.Event
+	const duration = 600
+	for t := int64(0); t < duration; t++ {
+		for host := int64(0); host < 3; host++ {
+			var cpu, errs int64
+			switch {
+			case host == 0:
+				cpu = 20 + int64(rng.Intn(20))
+			case host == 1:
+				cpu = 70 + int64(rng.Intn(15))
+			case t < 200 || t >= 500:
+				cpu = 40 + int64(rng.Intn(20))
+			default: // host 2 saturated window
+				cpu = 90 + int64(rng.Intn(10))
+				errs = int64(rng.Intn(3))
+			}
+			e, err := caesar.NewEvent(sample, caesar.Time(t),
+				caesar.Int64(host), caesar.Int64(cpu), caesar.Int64(errs), caesar.Int64(t))
+			if err != nil {
+				log.Fatal(err)
+			}
+			events = append(events, e)
+		}
+	}
+	caesar.SortByTime(events)
+
+	stats, err := eng.Run(caesar.NewSliceSource(events))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("samples: %d  load summaries: %d  diagnoses: %d  pages: %d\n",
+		stats.Events, stats.PerType["Load"], stats.PerType["Diagnosis"], stats.PerType["Page"])
+	fmt.Printf("context transitions: %d, diagnostics suspended %d times\n",
+		stats.Transitions, stats.SuspendedSkips)
+	for _, e := range stats.Outputs {
+		if e.TypeName() == "Diagnosis" || e.TypeName() == "Page" {
+			fmt.Println(" ", e)
+		}
+	}
+}

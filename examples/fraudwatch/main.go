@@ -1,0 +1,127 @@
+// Fraud watch: context-aware card monitoring, an application the
+// paper's introduction motivates (financial fraud detection).
+//
+// A card account enters the "abroad" context after a foreign
+// transaction and the "flagged" context after a velocity violation.
+// The expensive verification queries run only inside those contexts;
+// domestic routine spending costs nothing beyond context derivation.
+// The example also demonstrates negation: a charge with no matching
+// point-of-sale confirmation within the horizon raises an alert.
+//
+//	go run ./examples/fraudwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	caesar "github.com/caesar-cep/caesar"
+)
+
+const model = `
+EVENT Txn(card int, amount int, country int, sec int)
+EVENT PosConfirm(card int, sec int)
+EVENT ForeignAlert(card int, amount int, sec int)
+EVENT VelocityAlert(card int, amount int, sec int)
+EVENT GhostCharge(card int, amount int, sec int)
+
+CONTEXT domestic DEFAULT
+CONTEXT abroad
+CONTEXT flagged
+
+# A foreign transaction moves the card into the abroad context.
+INITIATE CONTEXT abroad
+PATTERN Txn t
+WHERE t.country != 1
+CONTEXT domestic
+
+# Returning home: a domestic transaction abroad ends the context.
+TERMINATE CONTEXT abroad
+PATTERN Txn t
+WHERE t.country = 1
+CONTEXT abroad
+
+# Two large transactions in quick succession flag the card.
+INITIATE CONTEXT flagged
+PATTERN SEQ(Txn a, Txn b)
+WHERE a.card = b.card AND a.amount > 500 AND b.amount > 500 AND b.sec <= a.sec + 120
+WITHIN 120
+CONTEXT domestic, abroad
+
+TERMINATE CONTEXT flagged
+PATTERN Txn t
+WHERE t.amount < 50
+CONTEXT flagged
+
+# Expensive verification only while abroad.
+DERIVE ForeignAlert(t.card, t.amount, t.sec)
+PATTERN Txn t
+WHERE t.amount > 200
+CONTEXT abroad
+
+# Velocity review only while flagged.
+DERIVE VelocityAlert(t.card, t.amount, t.sec)
+PATTERN Txn t
+WHERE t.amount > 100
+CONTEXT flagged
+
+# Negation: a flagged-card charge with no point-of-sale confirmation
+# within 60 seconds is a ghost charge.
+DERIVE GhostCharge(t.card, t.amount, t.sec)
+PATTERN SEQ(Txn t, NOT PosConfirm p)
+WHERE p.card = t.card AND p.sec <= t.sec + 60
+WITHIN 60
+CONTEXT flagged
+`
+
+func main() {
+	eng, err := caesar.NewFromSource(model, caesar.Config{
+		PartitionBy:    []string{"card"},
+		CollectOutputs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reg := eng.Registry()
+	txn, _ := reg.Lookup("Txn")
+	pos, _ := reg.Lookup("PosConfirm")
+
+	rng := rand.New(rand.NewSource(7))
+	var events []*caesar.Event
+	add := func(e *caesar.Event, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	// Card 1: routine domestic spending, then a trip abroad.
+	for t := int64(0); t < 600; t += 60 {
+		add(caesar.NewEvent(txn, caesar.Time(t),
+			caesar.Int64(1), caesar.Int64(20+int64(rng.Intn(80))), caesar.Int64(1), caesar.Int64(t)))
+	}
+	add(caesar.NewEvent(txn, 650, caesar.Int64(1), caesar.Int64(300), caesar.Int64(33), caesar.Int64(650)))
+	add(caesar.NewEvent(txn, 700, caesar.Int64(1), caesar.Int64(250), caesar.Int64(33), caesar.Int64(700)))
+	add(caesar.NewEvent(txn, 900, caesar.Int64(1), caesar.Int64(40), caesar.Int64(1), caesar.Int64(900))) // home
+
+	// Card 2: a burst of large charges, one confirmed, one not.
+	add(caesar.NewEvent(txn, 100, caesar.Int64(2), caesar.Int64(600), caesar.Int64(1), caesar.Int64(100)))
+	add(caesar.NewEvent(txn, 150, caesar.Int64(2), caesar.Int64(700), caesar.Int64(1), caesar.Int64(150)))
+	add(caesar.NewEvent(txn, 200, caesar.Int64(2), caesar.Int64(400), caesar.Int64(1), caesar.Int64(200)))
+	add(caesar.NewEvent(pos, 230, caesar.Int64(2), caesar.Int64(230)))
+	add(caesar.NewEvent(txn, 300, caesar.Int64(2), caesar.Int64(350), caesar.Int64(1), caesar.Int64(300)))
+	add(caesar.NewEvent(txn, 400, caesar.Int64(2), caesar.Int64(30), caesar.Int64(1), caesar.Int64(400))) // unflag
+
+	caesar.SortByTime(events)
+	stats, err := eng.Run(caesar.NewSliceSource(events))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("processed %d events across 2 cards, %d context transitions\n",
+		stats.Events, stats.Transitions)
+	for _, e := range stats.Outputs {
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("verification plans suspended %d times during routine spending\n",
+		stats.SuspendedSkips)
+}

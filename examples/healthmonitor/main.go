@@ -1,0 +1,68 @@
+// Health monitor: context-aware analytics over the physical activity
+// monitoring stream (the paper's real-world data set, §7.1).
+//
+// Each of 14 subjects is a stream partition with its own contexts:
+// resting (default), exercising, and peak effort. Sustained-peak
+// alerts are derived only inside the peak context; cadence summaries
+// only while exercising. Workload sharing merges the queries that the
+// exercising and peak contexts have in common.
+//
+//	go run ./examples/healthmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	caesar "github.com/caesar-cep/caesar"
+)
+
+func main() {
+	eng, err := caesar.NewFromSource(caesar.PAMModel(3), caesar.Config{
+		PartitionBy:    caesar.PAMPartitionBy(),
+		Sharing:        true,
+		Workers:        4,
+		CollectOutputs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := caesar.PAMDefaults()
+	cfg.Duration = 1500
+	events, err := caesar.GeneratePAM(cfg, eng.Registry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := eng.Run(caesar.NewSliceSource(events))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("monitored %d subjects for %d simulated seconds (%d readings)\n",
+		cfg.Subjects, cfg.Duration, stats.Events)
+	fmt.Printf("derived: %d alerts, %d summaries; %d context transitions\n",
+		stats.PerType["Alert"], stats.PerType["Summary"], stats.Transitions)
+
+	// Alerts per subject.
+	perSubject := map[int64]int{}
+	for _, e := range stats.Outputs {
+		if e.TypeName() != "Alert" {
+			continue
+		}
+		s, _ := e.Get("subj")
+		perSubject[s.Int]++
+	}
+	subjects := make([]int64, 0, len(perSubject))
+	for s := range perSubject {
+		subjects = append(subjects, s)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	fmt.Println("sustained-peak alerts per subject:")
+	for _, s := range subjects {
+		fmt.Printf("  subject %2d: %d\n", s, perSubject[s])
+	}
+	fmt.Printf("query plans suspended %d times while subjects were resting\n",
+		stats.SuspendedSkips)
+}

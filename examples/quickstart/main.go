@@ -1,0 +1,74 @@
+// Quickstart: a minimal context-aware monitoring pipeline.
+//
+// A machine reports temperatures. While the machine is in the
+// "overheated" context, every reading derives an alarm; in the
+// default "normal" context the alarm query is suspended and costs
+// nothing. The two SWITCH queries are the context deriving queries;
+// the DERIVE query is the context processing workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	caesar "github.com/caesar-cep/caesar"
+)
+
+const model = `
+EVENT Reading(sensor int, temp int, sec int)
+EVENT Alarm(sensor int, temp int)
+
+CONTEXT normal DEFAULT
+CONTEXT overheated
+
+SWITCH CONTEXT overheated
+PATTERN Reading r
+WHERE r.temp > 90
+CONTEXT normal
+
+SWITCH CONTEXT normal
+PATTERN Reading r
+WHERE r.temp < 70
+CONTEXT overheated
+
+DERIVE Alarm(r.sensor, r.temp)
+PATTERN Reading r
+CONTEXT overheated
+`
+
+func main() {
+	eng, err := caesar.NewFromSource(model, caesar.Config{
+		PartitionBy:    []string{"sensor"},
+		CollectOutputs: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	reading, _ := eng.Registry().Lookup("Reading")
+	temps := []int64{55, 72, 93, 97, 95, 88, 65, 60, 91}
+	var events []*caesar.Event
+	for i, temp := range temps {
+		e, err := caesar.NewEvent(reading, caesar.Time(i),
+			caesar.Int64(1), caesar.Int64(temp), caesar.Int64(int64(i)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		events = append(events, e)
+	}
+
+	stats, err := eng.Run(caesar.NewSliceSource(events))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("processed %d readings, derived %d alarms\n",
+		stats.Events, stats.PerType["Alarm"])
+	for _, e := range stats.Outputs {
+		fmt.Println(" ", e)
+	}
+	fmt.Printf("alarm plan suspended %d times while the machine was in the normal context\n",
+		stats.SuspendedSkips)
+}

@@ -1,0 +1,3 @@
+module github.com/caesar-cep/caesar
+
+go 1.22

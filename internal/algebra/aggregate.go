@@ -1,0 +1,190 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// Aggregate is the tumbling-window aggregation operator (an engine
+// extension, see DESIGN.md): it consumes the matches of its upstream
+// pattern, assigns each to the tumbling window containing its
+// occurrence end time, and derives one event per non-empty window
+// when the window closes. The derived event's occurrence time is the
+// window's last instant, so downstream queries consume it in the
+// transaction that closes the window.
+type Aggregate struct {
+	out   *event.Schema
+	specs []model.AggSpec
+	width int64
+
+	open    bool
+	winIdx  int64 // window index: window k covers [k*width, (k+1)*width)
+	count   int64
+	sums    []float64
+	mins    []event.Value
+	maxs    []event.Value
+	lasts   []event.Value
+	arrival int64
+}
+
+// NewAggregate validates specs against the output schema and builds
+// the operator.
+func NewAggregate(out *event.Schema, specs []model.AggSpec, width int64) (*Aggregate, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("algebra: tumble width must be positive, got %d", width)
+	}
+	if len(specs) != out.NumFields() {
+		return nil, fmt.Errorf("algebra: aggregation to %s needs %d expressions, got %d",
+			out.Name(), out.NumFields(), len(specs))
+	}
+	for i, s := range specs {
+		want := out.Field(i).Kind
+		got := s.ResultKind()
+		if want != got && !(want == event.KindFloat && got == event.KindInt) {
+			return nil, fmt.Errorf("algebra: %s.%s expects %s, aggregate %s yields %s",
+				out.Name(), out.Field(i).Name, want, s.Kind, got)
+		}
+		switch s.Kind {
+		case model.AggSum, model.AggAvg, model.AggMin, model.AggMax:
+			if s.Arg == nil {
+				return nil, fmt.Errorf("algebra: %s needs an argument", s.Kind)
+			}
+			k := s.Arg.Kind()
+			numericOK := k == event.KindInt || k == event.KindFloat || (k == event.KindBool && s.Kind == model.AggSum)
+			if s.Kind == model.AggMin || s.Kind == model.AggMax {
+				numericOK = numericOK || k == event.KindString
+			}
+			if !numericOK {
+				return nil, fmt.Errorf("algebra: %s over %s values is not supported", s.Kind, k)
+			}
+		}
+	}
+	n := len(specs)
+	return &Aggregate{
+		out:   out,
+		specs: specs,
+		width: width,
+		sums:  make([]float64, n),
+		mins:  make([]event.Value, n),
+		maxs:  make([]event.Value, n),
+		lasts: make([]event.Value, n),
+	}, nil
+}
+
+// Advance flushes every window that ends at or before now, appending
+// the derived events to out. Call once per transaction before
+// Process.
+func (a *Aggregate) Advance(now event.Time, out []*event.Event) []*event.Event {
+	if a.open && int64(now) >= (a.winIdx+1)*a.width {
+		out = append(out, a.flush())
+	}
+	return out
+}
+
+// Process folds matches into the current window, flushing completed
+// windows as later matches arrive.
+func (a *Aggregate) Process(matches []*Match, out []*event.Event) []*event.Event {
+	for _, m := range matches {
+		k := int64(m.Time.End) / a.width
+		if m.Time.End < 0 {
+			k = (int64(m.Time.End) - a.width + 1) / a.width
+		}
+		if a.open && k != a.winIdx {
+			out = append(out, a.flush())
+		}
+		if !a.open {
+			a.openWindow(k)
+		}
+		a.fold(m)
+	}
+	return out
+}
+
+// Reset discards the open window (context history GC).
+func (a *Aggregate) Reset() { a.open = false }
+
+// Pending reports whether a window is currently accumulating.
+func (a *Aggregate) Pending() bool { return a.open }
+
+func (a *Aggregate) openWindow(k int64) {
+	a.open = true
+	a.winIdx = k
+	a.count = 0
+	a.arrival = 0
+	for i := range a.specs {
+		a.sums[i] = 0
+		a.mins[i] = event.Value{}
+		a.maxs[i] = event.Value{}
+		a.lasts[i] = event.Value{}
+	}
+}
+
+func (a *Aggregate) fold(m *Match) {
+	a.count++
+	if m.Arrival > a.arrival {
+		a.arrival = m.Arrival
+	}
+	for i, s := range a.specs {
+		if s.Arg == nil {
+			continue
+		}
+		v := s.Arg.Eval(m.Binding)
+		switch s.Kind {
+		case model.AggLast:
+			a.lasts[i] = v
+		case model.AggSum, model.AggAvg:
+			a.sums[i] += v.AsFloat()
+		case model.AggMin:
+			if a.mins[i].IsZero() {
+				a.mins[i] = v
+			} else if cmp, ok := v.Compare(a.mins[i]); ok && cmp < 0 {
+				a.mins[i] = v
+			}
+		case model.AggMax:
+			if a.maxs[i].IsZero() {
+				a.maxs[i] = v
+			} else if cmp, ok := v.Compare(a.maxs[i]); ok && cmp > 0 {
+				a.maxs[i] = v
+			}
+		}
+	}
+}
+
+func (a *Aggregate) flush() *event.Event {
+	values := make([]event.Value, len(a.specs))
+	for i, s := range a.specs {
+		var v event.Value
+		switch s.Kind {
+		case model.AggLast:
+			v = a.lasts[i]
+		case model.AggCount:
+			v = event.Int64(a.count)
+		case model.AggAvg:
+			v = event.Float64(a.sums[i] / float64(a.count))
+		case model.AggSum:
+			if s.ResultKind() == event.KindInt {
+				v = event.Int64(int64(a.sums[i]))
+			} else {
+				v = event.Float64(a.sums[i])
+			}
+		case model.AggMin:
+			v = a.mins[i]
+		case model.AggMax:
+			v = a.maxs[i]
+		}
+		if a.out.Field(i).Kind == event.KindFloat && v.Kind == event.KindInt {
+			v = event.Float64(float64(v.Int))
+		}
+		values[i] = v
+	}
+	end := event.Time((a.winIdx+1)*a.width - 1)
+	a.open = false
+	return &event.Event{
+		Schema:  a.out,
+		Time:    event.Point(end),
+		Arrival: a.arrival,
+		Values:  values,
+	}
+}

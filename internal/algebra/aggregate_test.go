@@ -1,0 +1,173 @@
+package algebra
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+const aggModel = `
+EVENT R(v int, f float, s string, b int)
+EVENT Stat(cnt int, total int, mean float, lo int, hi int, lastv int)
+
+CONTEXT main DEFAULT
+
+DERIVE Stat(count(), sum(r.v), avg(r.v), min(r.v), max(r.v), r.v)
+PATTERN R r
+TUMBLE 60
+`
+
+func newAgg(t *testing.T) (*Aggregate, *model.Model) {
+	t.Helper()
+	m, err := model.CompileSource(aggModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[0]
+	if q.Tumble != 60 || len(q.Aggs) != 6 {
+		t.Fatalf("compiled query: tumble=%d aggs=%d", q.Tumble, len(q.Aggs))
+	}
+	a, err := NewAggregate(q.Out, q.Aggs, q.Tumble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, m
+}
+
+func rEvent(t *testing.T, m *model.Model, ts event.Time, v int64) *Match {
+	t.Helper()
+	s, _ := m.Registry.Lookup("R")
+	e := event.MustNew(s, ts, event.Int64(v), event.Float64(0), event.String("x"), event.Int64(0))
+	return &Match{Binding: []*event.Event{e}, Time: e.Time, Arrival: int64(ts)}
+}
+
+func TestAggregateWindowing(t *testing.T) {
+	a, m := newAgg(t)
+	var out []*event.Event
+	// Window 0 = [0, 60): values 10, 30, 20.
+	out = a.Process([]*Match{
+		rEvent(t, m, 5, 10), rEvent(t, m, 20, 30), rEvent(t, m, 59, 20),
+	}, out)
+	if len(out) != 0 || !a.Pending() {
+		t.Fatalf("premature flush: %v", out)
+	}
+	// A match in window 1 flushes window 0.
+	out = a.Process([]*Match{rEvent(t, m, 61, 7)}, out)
+	if len(out) != 1 {
+		t.Fatalf("flush count = %d", len(out))
+	}
+	st := out[0]
+	if st.TypeName() != "Stat" || st.Time.End != 59 {
+		t.Errorf("stat event = %v", st)
+	}
+	get := func(name string) event.Value { v, _ := st.Get(name); return v }
+	if get("cnt").Int != 3 || get("total").Int != 60 {
+		t.Errorf("cnt/total = %v/%v", get("cnt"), get("total"))
+	}
+	if math.Abs(get("mean").Float-20) > 1e-9 {
+		t.Errorf("mean = %v", get("mean"))
+	}
+	if get("lo").Int != 10 || get("hi").Int != 30 || get("lastv").Int != 20 {
+		t.Errorf("lo/hi/last = %v/%v/%v", get("lo"), get("hi"), get("lastv"))
+	}
+	if st.Arrival != 59 {
+		t.Errorf("arrival = %d", st.Arrival)
+	}
+}
+
+func TestAggregateAdvanceFlushes(t *testing.T) {
+	a, m := newAgg(t)
+	var out []*event.Event
+	out = a.Process([]*Match{rEvent(t, m, 5, 10)}, out)
+	out = a.Advance(59, out)
+	if len(out) != 0 {
+		t.Fatal("flushed before window end")
+	}
+	out = a.Advance(60, out)
+	if len(out) != 1 || !out[0].Time.Contains(59) {
+		t.Fatalf("advance flush = %v", out)
+	}
+	if a.Pending() {
+		t.Error("window still open after flush")
+	}
+	// No double flush.
+	if out = a.Advance(200, out); len(out) != 1 {
+		t.Fatal("empty window flushed")
+	}
+}
+
+func TestAggregateSkipsEmptyWindows(t *testing.T) {
+	a, m := newAgg(t)
+	var out []*event.Event
+	out = a.Process([]*Match{rEvent(t, m, 5, 1)}, out)
+	// Jump three windows ahead: only window 0 flushes.
+	out = a.Process([]*Match{rEvent(t, m, 200, 2)}, out)
+	if len(out) != 1 {
+		t.Fatalf("flushes = %d", len(out))
+	}
+	out = a.Advance(500, out)
+	if len(out) != 2 {
+		t.Fatalf("final flushes = %d", len(out))
+	}
+	if out[1].Time.End != 239 { // window 3 = [180,240)
+		t.Errorf("second stat time = %v", out[1].Time)
+	}
+}
+
+func TestAggregateReset(t *testing.T) {
+	a, m := newAgg(t)
+	a.Process([]*Match{rEvent(t, m, 5, 1)}, nil)
+	a.Reset()
+	if a.Pending() {
+		t.Error("pending after reset")
+	}
+	if out := a.Advance(1000, nil); len(out) != 0 {
+		t.Errorf("reset window flushed: %v", out)
+	}
+}
+
+func TestNewAggregateValidation(t *testing.T) {
+	_, m := newAgg(t)
+	q := m.Queries[0]
+	if _, err := NewAggregate(q.Out, q.Aggs, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewAggregate(q.Out, q.Aggs[:2], 60); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestAggregateBoolSum(t *testing.T) {
+	src := `
+EVENT P(speed int)
+EVENT S(stopped int)
+CONTEXT main DEFAULT
+DERIVE S(sum(p.speed = 0))
+PATTERN P p
+TUMBLE 10
+`
+	m, err := model.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[0]
+	a, err := NewAggregate(q.Out, q.Aggs, q.Tumble)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := m.Registry.Lookup("P")
+	mk := func(ts event.Time, speed int64) *Match {
+		e := event.MustNew(s, ts, event.Int64(speed))
+		return &Match{Binding: []*event.Event{e}, Time: e.Time}
+	}
+	out := a.Process([]*Match{mk(1, 0), mk(2, 50), mk(3, 0)}, nil)
+	out = a.Advance(10, out)
+	if len(out) != 1 {
+		t.Fatalf("flushes = %d", len(out))
+	}
+	if v, _ := out[0].Get("stopped"); v.Int != 2 {
+		t.Errorf("stopped = %v", v)
+	}
+}

@@ -1,0 +1,183 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+func intToTime(i int) event.Time { return event.Time(i) }
+
+// compileQuerySpec compiles a model source and converts query qi into
+// a PatternSpec (optimized shape: filters eager).
+func compileQuerySpec(t testing.TB, src string, qi int, horizon int64) (PatternSpec, *model.Model) {
+	t.Helper()
+	m, err := model.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[qi]
+	spec := PatternSpec{
+		Steps:    q.Pattern.Steps,
+		Negs:     q.Pattern.Negs,
+		Filters:  q.Filters,
+		NumSlots: q.Env.Len(),
+		Horizon:  horizon,
+	}
+	return spec, m
+}
+
+// runPattern drives a pattern like the runtime does: events grouped
+// by occurrence end time, one Advance+Process per timestamp, plus a
+// final Advance far in the future to flush trailing negations.
+func runPattern(p *Pattern, events []*event.Event, flushAt event.Time) []*Match {
+	var out []*Match
+	i := 0
+	for i < len(events) {
+		ts := events[i].End()
+		j := i
+		for j < len(events) && events[j].End() == ts {
+			j++
+		}
+		out = p.Advance(ts, out)
+		out = p.Process(events[i:j], out)
+		i = j
+	}
+	out = p.Advance(flushAt, out)
+	return out
+}
+
+// matchKey canonically renders a match for set comparison.
+func matchKey(m *Match) string {
+	var b strings.Builder
+	for i, e := range m.Binding {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		if e == nil {
+			b.WriteByte('_')
+		} else {
+			fmt.Fprintf(&b, "%s@%d-%d#%v", e.TypeName(), e.Time.Start, e.Time.End, e.Values)
+		}
+	}
+	return b.String()
+}
+
+func matchSet(ms []*Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = matchKey(m)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// bruteForce is the reference matcher: it enumerates every
+// assignment of stream events to pattern steps with strictly
+// increasing times, applies all filters, checks span <= horizon and
+// evaluates negations globally. Trailing negations consider events
+// up to lastEnd+horizon (matching the operator's deadline rule).
+func bruteForce(spec PatternSpec, events []*event.Event) []*Match {
+	n := len(spec.Steps)
+	var out []*Match
+	binding := make([]*event.Event, spec.NumSlots)
+	var rec func(step int, lastEnd event.Time, firstStart event.Time)
+	rec = func(step int, lastEnd event.Time, firstStart event.Time) {
+		if step == n {
+			if violatedRef(spec, binding, events) {
+				return
+			}
+			b := append([]*event.Event(nil), binding...)
+			out = append(out, &Match{Binding: b})
+			return
+		}
+		for _, e := range events {
+			if e.Schema != spec.Steps[step].Schema {
+				continue
+			}
+			if step > 0 && lastEnd >= e.Time.Start {
+				continue
+			}
+			fs := firstStart
+			if step == 0 {
+				fs = e.Time.Start
+			}
+			if e.Time.End-fs > event.Time(spec.Horizon) {
+				continue
+			}
+			binding[spec.Steps[step].Slot] = e
+			if !filtersOKRef(spec, binding, step) {
+				binding[spec.Steps[step].Slot] = nil
+				continue
+			}
+			rec(step+1, e.Time.End, fs)
+			binding[spec.Steps[step].Slot] = nil
+		}
+	}
+	rec(0, 0, 0)
+	return out
+}
+
+// filtersOKRef applies every filter whose variables are bound after
+// the given step (mirrors eager evaluation; outcomes are equivalent
+// to applying all filters at the end).
+func filtersOKRef(spec PatternSpec, binding []*event.Event, step int) bool {
+	for _, f := range spec.Filters {
+		ok := true
+		for s := range binding {
+			if f.Vars().Has(s) && binding[s] == nil {
+				ok = false
+				break
+			}
+		}
+		if ok && !f.EvalBool(binding) {
+			return false
+		}
+	}
+	return true
+}
+
+func violatedRef(spec PatternSpec, binding []*event.Event, events []*event.Event) bool {
+	n := len(spec.Steps)
+	scratch := make([]*event.Event, len(binding))
+	for j := range spec.Negs {
+		neg := &spec.Negs[j]
+		var lo event.Time = -1 << 62
+		var hi event.Time = 1 << 62
+		if neg.Anchor > 0 {
+			lo = binding[spec.Steps[neg.Anchor-1].Slot].Time.End
+		}
+		if neg.Anchor < n {
+			hi = binding[spec.Steps[neg.Anchor].Slot].Time.Start
+		} else {
+			// Trailing: events after the match but within the
+			// horizon deadline can still invalidate it.
+			hi = lo + event.Time(spec.Horizon) + 1
+		}
+		for _, nv := range events {
+			if nv.Schema != neg.Schema {
+				continue
+			}
+			if nv.Time.Start <= lo || nv.Time.End >= hi {
+				continue
+			}
+			copy(scratch, binding)
+			scratch[neg.Slot] = nv
+			condsOK := true
+			for _, c := range neg.Conds {
+				if !c.EvalBool(scratch) {
+					condsOK = false
+					break
+				}
+			}
+			if condsOK {
+				return true
+			}
+		}
+	}
+	return false
+}

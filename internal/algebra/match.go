@@ -1,0 +1,36 @@
+package algebra
+
+import (
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Match is one event sequence constructed by the pattern operator
+// (paper §4.1): the binding of pattern variables to events. Binding
+// is indexed by predicate environment slot; slots of negated
+// variables stay nil. Time spans the occurrence times of all bound
+// events, Arrival is the latest system arrival among them (the
+// reference for the maximal latency metric).
+type Match struct {
+	Binding []*event.Event
+	Time    event.Interval
+	Arrival int64
+}
+
+func (m *Match) String() string {
+	var b strings.Builder
+	b.WriteString("match[")
+	for i, e := range m.Binding {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if e == nil {
+			b.WriteByte('_')
+		} else {
+			b.WriteString(e.String())
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

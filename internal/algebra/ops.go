@@ -1,0 +1,179 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+	"github.com/caesar-cep/caesar/internal/predicate"
+)
+
+// Filter is the FI operator (paper §4.1) applied at match level: it
+// passes matches satisfying all predicates. Optimized plans fold
+// these predicates into the pattern operator for eager evaluation;
+// non-optimized plans (Fig. 6a) keep them as this separate operator.
+type Filter struct {
+	preds []*predicate.Compiled
+}
+
+// NewFilter builds a filter from WHERE conjuncts.
+func NewFilter(preds []*predicate.Compiled) *Filter { return &Filter{preds: preds} }
+
+// Process appends the matches satisfying every predicate to out.
+func (f *Filter) Process(in []*Match, out []*Match) []*Match {
+	for _, m := range in {
+		ok := true
+		for _, p := range f.preds {
+			if !p.EvalBool(m.Binding) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Project is the PR operator (paper §4.1): it restricts a match to
+// the derived event type's attributes by evaluating the DERIVE
+// argument expressions against the binding. The derived complex
+// event's occurrence time spans all constituent events (paper §2).
+type Project struct {
+	out  *event.Schema
+	args []*predicate.Compiled
+}
+
+// NewProject builds a projection. len(args) must equal the schema's
+// field count; the model compiler guarantees kind compatibility.
+func NewProject(out *event.Schema, args []*predicate.Compiled) (*Project, error) {
+	if len(args) != out.NumFields() {
+		return nil, fmt.Errorf("algebra: projection to %s needs %d expressions, got %d",
+			out.Name(), out.NumFields(), len(args))
+	}
+	return &Project{out: out, args: args}, nil
+}
+
+// Process derives one event per match and appends it to out.
+func (p *Project) Process(in []*Match, out []*event.Event) []*event.Event {
+	for _, m := range in {
+		values := make([]event.Value, len(p.args))
+		for i, a := range p.args {
+			v := a.Eval(m.Binding)
+			if p.out.Field(i).Kind == event.KindFloat && v.Kind == event.KindInt {
+				v = event.Float64(float64(v.Int))
+			}
+			values[i] = v
+		}
+		out = append(out, &event.Event{
+			Schema:  p.out,
+			Time:    m.Time,
+			Arrival: m.Arrival,
+			Values:  values,
+		})
+	}
+	return out
+}
+
+// WindowGate is the CW operator (paper §4.1) in its pushed-down
+// position (Fig. 6b): placed below a plan, it passes the input batch
+// only while some context window of the plan's mask holds. Its cost
+// is constant per batch — one bit-mask test — which is what makes the
+// push-down strategy strictly beneficial (Theorem 1).
+type WindowGate struct {
+	mask uint64
+	vec  *Vector
+}
+
+// NewWindowGate builds a gate over the given context mask.
+func NewWindowGate(mask uint64, vec *Vector) *WindowGate {
+	return &WindowGate{mask: mask, vec: vec}
+}
+
+// Open reports whether the gate currently passes events.
+func (g *WindowGate) Open() bool { return g.vec.ActiveAny(g.mask) }
+
+// Process returns the batch unchanged while the window holds, nil
+// otherwise.
+func (g *WindowGate) Process(in []*event.Event) []*event.Event {
+	if g.vec.ActiveAny(g.mask) {
+		return in
+	}
+	return nil
+}
+
+// WindowFilter is the CW operator in its un-pushed position
+// (Fig. 6a): above the pattern, it drops already-constructed matches
+// while the context is inactive. All the pattern and filter work
+// below it has already been spent — the waste the push-down strategy
+// removes.
+type WindowFilter struct {
+	mask uint64
+	vec  *Vector
+}
+
+// NewWindowFilter builds a match-level context window check.
+func NewWindowFilter(mask uint64, vec *Vector) *WindowFilter {
+	return &WindowFilter{mask: mask, vec: vec}
+}
+
+// Process appends the input matches to out while the window holds.
+func (w *WindowFilter) Process(in []*Match, out []*Match) []*Match {
+	if !w.vec.ActiveAny(w.mask) {
+		return out
+	}
+	return append(out, in...)
+}
+
+// ContextAction realizes the CI and CT operators (paper §4.1, Table
+// 1): it converts the matches of a context deriving query into
+// window transitions. The transitions are applied to the partition's
+// context vector at the end of the stream transaction, not
+// immediately, so every query in the transaction sees the
+// pre-transaction window set.
+//
+// Per Table 1, SWITCH CONTEXT c translates to CI_c plus CT_curr: the
+// action terminates every currently active context the query is
+// associated with, then initiates the target.
+type ContextAction struct {
+	action lang.Action
+	target int
+	// sourceMask is the query's context association, used by SWITCH
+	// to decide which windows to terminate.
+	sourceMask uint64
+	vec        *Vector
+}
+
+// NewContextAction builds the CI/CT operator for a window query.
+func NewContextAction(action lang.Action, target int, sourceMask uint64, vec *Vector) (*ContextAction, error) {
+	switch action {
+	case lang.ActionInitiate, lang.ActionSwitch, lang.ActionTerminate:
+		return &ContextAction{action: action, target: target, sourceMask: sourceMask, vec: vec}, nil
+	default:
+		return nil, fmt.Errorf("algebra: %s is not a context action", action)
+	}
+}
+
+// Process appends the transitions triggered by the matches to out.
+// Multiple matches in one transaction trigger the transition once
+// (window initiation and termination are idempotent at a timestamp).
+func (a *ContextAction) Process(now event.Time, matches []*Match, out []Transition) []Transition {
+	if len(matches) == 0 {
+		return out
+	}
+	switch a.action {
+	case lang.ActionInitiate:
+		out = append(out, Transition{Kind: TransInit, Context: a.target, At: now})
+	case lang.ActionTerminate:
+		out = append(out, Transition{Kind: TransTerm, Context: a.target, At: now})
+	case lang.ActionSwitch:
+		for i := 0; i < 64; i++ {
+			if a.sourceMask&(1<<uint(i)) != 0 && a.vec.Has(i) {
+				out = append(out, Transition{Kind: TransTerm, Context: i, At: now})
+			}
+		}
+		out = append(out, Transition{Kind: TransInit, Context: a.target, At: now})
+	}
+	return out
+}

@@ -1,0 +1,211 @@
+package algebra
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+const opsModel = `
+EVENT A(v int, k int)
+EVENT OutF(v float)
+
+CONTEXT clear DEFAULT
+CONTEXT busy
+
+DERIVE OutF(a.v)
+PATTERN A a
+WHERE a.k > 0
+CONTEXT busy
+
+INITIATE CONTEXT busy
+PATTERN A a
+CONTEXT clear
+
+TERMINATE CONTEXT busy
+PATTERN A a
+CONTEXT busy
+
+SWITCH CONTEXT busy
+PATTERN A a
+CONTEXT clear
+`
+
+func opsFixture(t *testing.T) (*model.Model, *event.Schema) {
+	t.Helper()
+	m, err := model.CompileSource(opsModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := m.Registry.Lookup("A")
+	return m, a
+}
+
+func mkMatch(e *event.Event) *Match {
+	return &Match{Binding: []*event.Event{e}, Time: e.Time, Arrival: e.Arrival}
+}
+
+func TestFilterOp(t *testing.T) {
+	m, a := opsFixture(t)
+	q := m.Queries[0]
+	f := NewFilter(q.Filters)
+	pass := mkMatch(event.MustNew(a, 1, event.Int64(10), event.Int64(5)))
+	fail := mkMatch(event.MustNew(a, 2, event.Int64(20), event.Int64(0)))
+	out := f.Process([]*Match{pass, fail}, nil)
+	if len(out) != 1 || out[0] != pass {
+		t.Fatalf("filter out = %v", out)
+	}
+	// Empty predicate list passes everything.
+	all := NewFilter(nil).Process([]*Match{pass, fail}, nil)
+	if len(all) != 2 {
+		t.Fatalf("empty filter dropped matches")
+	}
+}
+
+func TestProjectOp(t *testing.T) {
+	m, a := opsFixture(t)
+	q := m.Queries[0]
+	pr, err := NewProject(q.Out, q.Args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event.MustNew(a, 7, event.Int64(42), event.Int64(1))
+	e.Arrival = 999
+	out := pr.Process([]*Match{mkMatch(e)}, nil)
+	if len(out) != 1 {
+		t.Fatal("no projection output")
+	}
+	got := out[0]
+	if got.Schema.Name() != "OutF" {
+		t.Errorf("schema = %s", got.Schema.Name())
+	}
+	// Int expression v widened to the float field.
+	if got.At(0).Kind != event.KindFloat || got.At(0).Float != 42 {
+		t.Errorf("value = %#v", got.At(0))
+	}
+	if got.Time != e.Time || got.Arrival != 999 {
+		t.Errorf("time/arrival not propagated: %v/%d", got.Time, got.Arrival)
+	}
+}
+
+func TestProjectArityValidation(t *testing.T) {
+	m, _ := opsFixture(t)
+	q := m.Queries[0]
+	if _, err := NewProject(q.Out, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestWindowGate(t *testing.T) {
+	m, a := opsFixture(t)
+	busy, _ := m.ContextByName("busy")
+	clear, _ := m.ContextByName("clear")
+	vec := NewVector(clear.Index)
+	g := NewWindowGate(busy.Mask(), vec)
+	batch := []*event.Event{event.MustNew(a, 1, event.Int64(1), event.Int64(1))}
+
+	if g.Open() {
+		t.Error("gate open while busy inactive")
+	}
+	if out := g.Process(batch); out != nil {
+		t.Error("gate passed events while closed")
+	}
+	vec.Apply(Transition{Kind: TransInit, Context: busy.Index, At: 1}, clear.Index)
+	if !g.Open() {
+		t.Error("gate closed while busy active")
+	}
+	if out := g.Process(batch); len(out) != 1 {
+		t.Error("gate dropped events while open")
+	}
+}
+
+func TestWindowFilter(t *testing.T) {
+	m, a := opsFixture(t)
+	busy, _ := m.ContextByName("busy")
+	clear, _ := m.ContextByName("clear")
+	vec := NewVector(clear.Index)
+	w := NewWindowFilter(busy.Mask(), vec)
+	ms := []*Match{mkMatch(event.MustNew(a, 1, event.Int64(1), event.Int64(1)))}
+	if out := w.Process(ms, nil); len(out) != 0 {
+		t.Error("window filter passed matches while inactive")
+	}
+	vec.Apply(Transition{Kind: TransInit, Context: busy.Index, At: 1}, clear.Index)
+	if out := w.Process(ms, nil); len(out) != 1 {
+		t.Error("window filter dropped matches while active")
+	}
+}
+
+func TestContextActionInitiateTerminate(t *testing.T) {
+	m, a := opsFixture(t)
+	busy, _ := m.ContextByName("busy")
+	clear, _ := m.ContextByName("clear")
+	vec := NewVector(clear.Index)
+
+	initQ := m.Queries[1]
+	ci, err := NewContextAction(initQ.Action, initQ.Target.Index, initQ.Mask, vec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	match := mkMatch(event.MustNew(a, 5, event.Int64(1), event.Int64(1)))
+
+	// No matches, no transitions.
+	if out := ci.Process(5, nil, nil); len(out) != 0 {
+		t.Error("transition without match")
+	}
+	out := ci.Process(5, []*Match{match, match}, nil)
+	if len(out) != 1 || out[0].Kind != TransInit || out[0].Context != busy.Index || out[0].At != 5 {
+		t.Fatalf("initiate transitions = %v", out)
+	}
+
+	termQ := m.Queries[2]
+	ct, _ := NewContextAction(termQ.Action, termQ.Target.Index, termQ.Mask, vec)
+	out = ct.Process(6, []*Match{match}, nil)
+	if len(out) != 1 || out[0].Kind != TransTerm || out[0].Context != busy.Index {
+		t.Fatalf("terminate transitions = %v", out)
+	}
+}
+
+func TestContextActionSwitch(t *testing.T) {
+	m, a := opsFixture(t)
+	busy, _ := m.ContextByName("busy")
+	clear, _ := m.ContextByName("clear")
+	vec := NewVector(clear.Index)
+	swQ := m.Queries[3] // SWITCH CONTEXT busy, associated with clear
+	sw, _ := NewContextAction(swQ.Action, swQ.Target.Index, swQ.Mask, vec)
+	match := mkMatch(event.MustNew(a, 9, event.Int64(1), event.Int64(1)))
+
+	out := sw.Process(9, []*Match{match}, nil)
+	// clear is active: terminate clear, initiate busy.
+	if len(out) != 2 {
+		t.Fatalf("switch transitions = %v", out)
+	}
+	if out[0].Kind != TransTerm || out[0].Context != clear.Index {
+		t.Errorf("first transition = %v", out[0])
+	}
+	if out[1].Kind != TransInit || out[1].Context != busy.Index {
+		t.Errorf("second transition = %v", out[1])
+	}
+
+	// With clear inactive, switch only initiates.
+	vec.Apply(Transition{Kind: TransInit, Context: busy.Index, At: 9}, clear.Index)
+	out = sw.Process(10, []*Match{match}, nil)
+	if len(out) != 1 || out[0].Kind != TransInit {
+		t.Fatalf("switch from inactive source = %v", out)
+	}
+}
+
+func TestNewContextActionRejectsDerive(t *testing.T) {
+	vec := NewVector(0)
+	if _, err := NewContextAction(lang.ActionDerive, 1, 1, vec); err == nil {
+		t.Error("DERIVE accepted as context action")
+	}
+}
+
+func TestMatchString(t *testing.T) {
+	m := &Match{Binding: []*event.Event{nil}}
+	if m.String() != "match[_]" {
+		t.Errorf("String = %q", m.String())
+	}
+}

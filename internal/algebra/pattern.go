@@ -1,0 +1,432 @@
+package algebra
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/predicate"
+)
+
+// PatternSpec configures a pattern operator instance.
+type PatternSpec struct {
+	// Steps are the positive SEQ steps in order; Negs the anchored
+	// negations (both come from a compiled model query).
+	Steps []model.Step
+	Negs  []model.Negation
+	// Filters are WHERE conjuncts over positive variables. The
+	// pattern evaluates each as soon as all its variables are bound
+	// (eager predicate evaluation). A non-optimized plan passes nil
+	// here and applies the conjuncts in a downstream Filter operator
+	// instead (paper Fig. 6a vs. 6b).
+	Filters []*predicate.Compiled
+	// NumSlots is the predicate environment size (positive + negated
+	// variables).
+	NumSlots int
+	// DisableNegIndex turns off the negation-buffer hash index (used
+	// by the ablation benchmarks to quantify its benefit).
+	DisableNegIndex bool
+	// Horizon bounds the time span of a match: a partial match whose
+	// first event is older than Horizon expires, and a trailing
+	// negation holds back emission for Horizon time units. Must be
+	// positive.
+	Horizon int64
+}
+
+// PatternStats counts the work a pattern instance has performed; the
+// benchmark harness and tests read these.
+type PatternStats struct {
+	EventsSeen      uint64
+	PartialsCreated uint64
+	PartialsExpired uint64
+	MatchesEmitted  uint64
+	MatchesNegated  uint64
+	FilteredOut     uint64
+}
+
+// Pattern is the P operator (paper §4.1): it consumes an event
+// stream and incrementally constructs the event sequences matched by
+// SEQ, honoring negation and eagerly applied filter predicates.
+// Partial matches held between invocations are the query's "context
+// history" (§6.2); Reset discards them.
+type Pattern struct {
+	spec PatternSpec
+
+	// filterAt[i] lists the indices of spec.Filters that become fully
+	// bound once step i is bound.
+	filterAt [][]int
+
+	// partials[i] holds prefixes that have bound steps 0..i-1 and
+	// await step i (1 <= i < len(Steps)).
+	partials [][]*partial
+	// negBuf[j] buffers events of negation j's type, bounded by
+	// 2*Horizon so that completion-time negation checks see every
+	// event that can fall within a live match's span.
+	negBuf [][]*event.Event
+	// negIdx[j] indexes negBuf[j] by the negation's hash-join
+	// attribute (nil when the negation has no equi-join condition or
+	// indexing is disabled): completion-time checks then probe one
+	// bucket instead of scanning the buffer.
+	negIdx []map[event.Value][]*event.Event
+	// pending holds completed matches waiting out a trailing
+	// negation's deadline.
+	pending []*pendingMatch
+
+	scratch []*event.Event // negation condition evaluation buffer
+	stats   PatternStats
+}
+
+type partial struct {
+	binding    []*event.Event
+	firstStart event.Time
+	lastEnd    event.Time
+	arrival    int64
+}
+
+type pendingMatch struct {
+	m        *Match
+	lastEnd  event.Time
+	deadline event.Time
+	killed   bool
+}
+
+// NewPattern validates the spec and builds the operator.
+func NewPattern(spec PatternSpec) (*Pattern, error) {
+	if len(spec.Steps) == 0 {
+		return nil, fmt.Errorf("algebra: pattern needs at least one positive step")
+	}
+	if spec.Horizon <= 0 {
+		return nil, fmt.Errorf("algebra: pattern horizon must be positive, got %d", spec.Horizon)
+	}
+	p := &Pattern{spec: spec}
+	// Eager filter schedule: a filter runs at the first step where
+	// its variable set is fully bound.
+	bound := predicate.VarSet(0)
+	p.filterAt = make([][]int, len(spec.Steps))
+	scheduled := make([]bool, len(spec.Filters))
+	for i, st := range spec.Steps {
+		bound = bound.With(st.Slot)
+		for fi, f := range spec.Filters {
+			if !scheduled[fi] && f.Vars().SubsetOf(bound) {
+				p.filterAt[i] = append(p.filterAt[i], fi)
+				scheduled[fi] = true
+			}
+		}
+	}
+	for fi, ok := range scheduled {
+		if !ok {
+			return nil, fmt.Errorf("algebra: filter %s references unbound variables", spec.Filters[fi])
+		}
+	}
+	p.partials = make([][]*partial, len(spec.Steps))
+	p.negBuf = make([][]*event.Event, len(spec.Negs))
+	p.negIdx = make([]map[event.Value][]*event.Event, len(spec.Negs))
+	for j := range spec.Negs {
+		if spec.Negs[j].HashProbe != nil && !spec.DisableNegIndex {
+			p.negIdx[j] = map[event.Value][]*event.Event{}
+		}
+	}
+	p.scratch = make([]*event.Event, spec.NumSlots)
+	return p, nil
+}
+
+// Stats returns a copy of the operator counters.
+func (p *Pattern) Stats() PatternStats { return p.stats }
+
+// Reset discards all partial matches, negation buffers and pending
+// emissions. The runtime calls it when the query's original context
+// window ends and its history may be safely discarded (§6.2).
+func (p *Pattern) Reset() {
+	for i := range p.partials {
+		p.partials[i] = nil
+	}
+	for j := range p.negBuf {
+		p.negBuf[j] = nil
+		if p.negIdx[j] != nil {
+			p.negIdx[j] = map[event.Value][]*event.Event{}
+		}
+	}
+	p.pending = nil
+}
+
+// MemoryFootprint returns the number of retained partials, buffered
+// negation events and pending matches; the garbage collector and
+// tests observe it.
+func (p *Pattern) MemoryFootprint() (partials, negBuffered, pending int) {
+	for _, ps := range p.partials {
+		partials += len(ps)
+	}
+	for _, nb := range p.negBuf {
+		negBuffered += len(nb)
+	}
+	return partials, negBuffered, len(p.pending)
+}
+
+// Advance moves the operator's clock to now: it expires partial
+// matches older than the horizon, prunes negation buffers, and
+// flushes pending matches whose trailing-negation deadline has
+// passed, appending them to out. Call once per stream transaction,
+// before Process.
+func (p *Pattern) Advance(now event.Time, out []*Match) []*Match {
+	cut := now - event.Time(p.spec.Horizon)
+	for i := 1; i < len(p.partials); i++ {
+		ps := p.partials[i]
+		kept := ps[:0]
+		for _, pa := range ps {
+			if pa.firstStart >= cut {
+				kept = append(kept, pa)
+			} else {
+				p.stats.PartialsExpired++
+			}
+		}
+		p.partials[i] = kept
+	}
+	negCut := now - 2*event.Time(p.spec.Horizon)
+	for j := range p.negBuf {
+		nb := p.negBuf[j]
+		kept := nb[:0]
+		for _, e := range nb {
+			if e.End() >= negCut {
+				kept = append(kept, e)
+			}
+		}
+		pruned := len(kept) != len(nb)
+		p.negBuf[j] = kept
+		if pruned && p.negIdx[j] != nil {
+			// Rebuild the index after expiry; cheaper than per-event
+			// deletion and amortized over the transaction.
+			idx := make(map[event.Value][]*event.Event, len(kept))
+			field := p.spec.Negs[j].HashField
+			for _, e := range kept {
+				k := e.At(field)
+				idx[k] = append(idx[k], e)
+			}
+			p.negIdx[j] = idx
+		}
+	}
+	if len(p.pending) > 0 {
+		kept := p.pending[:0]
+		for _, pm := range p.pending {
+			switch {
+			case pm.killed:
+			case pm.deadline < now:
+				out = append(out, pm.m)
+				p.stats.MatchesEmitted++
+			default:
+				kept = append(kept, pm)
+			}
+		}
+		p.pending = kept
+	}
+	return out
+}
+
+// Process consumes one batch of events (all with the same occurrence
+// end time, per the transaction discipline) and appends completed
+// matches to out. Events whose type matches no step or negation are
+// ignored.
+func (p *Pattern) Process(batch []*event.Event, out []*Match) []*Match {
+	for _, e := range batch {
+		out = p.processEvent(e, out)
+	}
+	return out
+}
+
+func (p *Pattern) processEvent(e *event.Event, out []*Match) []*Match {
+	p.stats.EventsSeen++
+	// Negation bookkeeping first: an event can serve both as a step
+	// and as a negation of another variable's type.
+	for j := range p.spec.Negs {
+		n := &p.spec.Negs[j]
+		if n.Schema != e.Schema {
+			continue
+		}
+		p.negBuf[j] = append(p.negBuf[j], e)
+		if idx := p.negIdx[j]; idx != nil {
+			k := e.At(n.HashField)
+			idx[k] = append(idx[k], e)
+		}
+		if n.Anchor == len(p.spec.Steps) {
+			p.killPending(n, j, e)
+		}
+	}
+	steps := p.spec.Steps
+	for i := range steps {
+		if steps[i].Schema != e.Schema {
+			continue
+		}
+		if i == 0 {
+			p.startPartial(e, &out)
+		} else {
+			out = p.extendPartials(i, e, out)
+		}
+	}
+	return out
+}
+
+// startPartial begins a new prefix at step 0 (or completes a match
+// for single-step patterns).
+func (p *Pattern) startPartial(e *event.Event, out *[]*Match) {
+	binding := make([]*event.Event, p.spec.NumSlots)
+	binding[p.spec.Steps[0].Slot] = e
+	if !p.runFilters(0, binding) {
+		return
+	}
+	pa := &partial{
+		binding:    binding,
+		firstStart: e.Time.Start,
+		lastEnd:    e.Time.End,
+		arrival:    e.Arrival,
+	}
+	p.stats.PartialsCreated++
+	if len(p.spec.Steps) == 1 {
+		*out = p.complete(pa, *out)
+		return
+	}
+	p.partials[1] = append(p.partials[1], pa)
+}
+
+func (p *Pattern) extendPartials(i int, e *event.Event, out []*Match) []*Match {
+	slot := p.spec.Steps[i].Slot
+	last := i == len(p.spec.Steps)-1
+	// Iterate over a snapshot length: completions during iteration
+	// never append to partials[i].
+	ps := p.partials[i]
+	for _, pa := range ps {
+		// Strict sequencing (§4.1): e_i.time < e_{i+1}.time; for
+		// interval events the previous match part must end before the
+		// next begins.
+		if pa.lastEnd >= e.Time.Start {
+			continue
+		}
+		binding := append([]*event.Event(nil), pa.binding...)
+		binding[slot] = e
+		if !p.runFilters(i, binding) {
+			continue
+		}
+		ext := &partial{
+			binding:    binding,
+			firstStart: pa.firstStart,
+			lastEnd:    e.Time.End,
+			arrival:    maxI64(pa.arrival, e.Arrival),
+		}
+		p.stats.PartialsCreated++
+		if last {
+			out = p.complete(ext, out)
+		} else {
+			p.partials[i+1] = append(p.partials[i+1], ext)
+		}
+	}
+	return out
+}
+
+func (p *Pattern) runFilters(step int, binding []*event.Event) bool {
+	for _, fi := range p.filterAt[step] {
+		if !p.spec.Filters[fi].EvalBool(binding) {
+			p.stats.FilteredOut++
+			return false
+		}
+	}
+	return true
+}
+
+// complete finalizes a full binding: leading and mid-anchored
+// negations are checked against the buffered negation events; a
+// trailing negation defers emission until its deadline.
+func (p *Pattern) complete(pa *partial, out []*Match) []*Match {
+	n := len(p.spec.Steps)
+	for j := range p.spec.Negs {
+		neg := &p.spec.Negs[j]
+		if neg.Anchor == n {
+			continue
+		}
+		if p.negationViolated(neg, j, pa.binding) {
+			p.stats.MatchesNegated++
+			return out
+		}
+	}
+	m := &Match{
+		Binding: pa.binding,
+		Time:    event.Interval{Start: pa.firstStart, End: pa.lastEnd},
+		Arrival: pa.arrival,
+	}
+	if p.hasTrailingNeg() {
+		p.pending = append(p.pending, &pendingMatch{
+			m:        m,
+			lastEnd:  pa.lastEnd,
+			deadline: pa.lastEnd + event.Time(p.spec.Horizon),
+		})
+		return out
+	}
+	p.stats.MatchesEmitted++
+	return append(out, m)
+}
+
+func (p *Pattern) hasTrailingNeg() bool {
+	n := len(p.spec.Steps)
+	for j := range p.spec.Negs {
+		if p.spec.Negs[j].Anchor == n {
+			return true
+		}
+	}
+	return false
+}
+
+// negationViolated reports whether some buffered event of negation
+// neg falls strictly between the anchoring positive events and
+// satisfies all the negation's conditions (paper §4.1, sequence with
+// negation).
+func (p *Pattern) negationViolated(neg *model.Negation, j int, binding []*event.Event) bool {
+	var lo event.Time = -1 << 62
+	if neg.Anchor > 0 {
+		lo = binding[p.spec.Steps[neg.Anchor-1].Slot].Time.End
+	}
+	hi := binding[p.spec.Steps[neg.Anchor].Slot].Time.Start
+	candidates := p.negBuf[j]
+	if idx := p.negIdx[j]; idx != nil {
+		// Probe only the bucket matching the equi-join key; the
+		// residual conditions below re-verify it.
+		candidates = idx[neg.HashProbe.Eval(binding)]
+	}
+	for _, nv := range candidates {
+		if nv.Time.Start <= lo || nv.Time.End >= hi {
+			continue
+		}
+		if p.negCondsHold(neg, binding, nv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pattern) negCondsHold(neg *model.Negation, binding []*event.Event, nv *event.Event) bool {
+	copy(p.scratch, binding)
+	p.scratch[neg.Slot] = nv
+	for _, c := range neg.Conds {
+		if !c.EvalBool(p.scratch) {
+			return false
+		}
+	}
+	return true
+}
+
+// killPending invalidates pending matches whose trailing negation is
+// violated by the newly arrived event nv.
+func (p *Pattern) killPending(neg *model.Negation, j int, nv *event.Event) {
+	for _, pm := range p.pending {
+		if pm.killed || nv.Time.Start <= pm.lastEnd {
+			continue
+		}
+		if p.negCondsHold(neg, pm.m.Binding, nv) {
+			pm.killed = true
+			p.stats.MatchesNegated++
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

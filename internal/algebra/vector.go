@@ -1,0 +1,136 @@
+// Package algebra implements the six operators of the CAESAR algebra
+// (paper §4.1): context initiation CI, context termination CT,
+// context window CW, filter FI, projection PR and pattern P, together
+// with the context bit vector they operate on and the Match
+// representation that flows between pattern, filter and projection.
+//
+// Operators are stateful and single-goroutine: the runtime
+// instantiates one operator chain per stream partition and drives
+// each partition from one worker at a time (§6.2).
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Vector is the context bit vector W (paper §5.1, §6.2): one bit per
+// context type, indexed alphabetically by context name, plus the
+// application timestamp of the last update. The runtime keeps one
+// Vector per stream partition.
+type Vector struct {
+	bits uint64
+	time event.Time
+}
+
+// NewVector returns a vector with only the default context active.
+func NewVector(defaultIdx int) *Vector {
+	return &Vector{bits: 1 << uint(defaultIdx)}
+}
+
+// Bits returns the raw bit mask of currently active contexts.
+func (v *Vector) Bits() uint64 { return v.bits }
+
+// Time returns the application time of the last update (W.time).
+func (v *Vector) Time() event.Time { return v.time }
+
+// Has reports whether a context window of the given index currently
+// holds. Constant time (paper §5.1).
+func (v *Vector) Has(idx int) bool { return v.bits&(1<<uint(idx)) != 0 }
+
+// ActiveAny reports whether any context in mask currently holds.
+func (v *Vector) ActiveAny(mask uint64) bool { return v.bits&mask != 0 }
+
+// Empty reports whether no context window holds.
+func (v *Vector) Empty() bool { return v.bits == 0 }
+
+// TransitionKind says whether a transition initiates or terminates a
+// context window.
+type TransitionKind uint8
+
+const (
+	// TransInit starts a context window (CI, §4.1).
+	TransInit TransitionKind = iota
+	// TransTerm ends a context window (CT, §4.1).
+	TransTerm
+)
+
+func (k TransitionKind) String() string {
+	if k == TransInit {
+		return "initiate"
+	}
+	return "terminate"
+}
+
+// Transition is a context window boundary derived by a context
+// deriving query at time At. Transitions are collected during a
+// stream transaction and applied together at its end, so that all
+// queries in the transaction observe the pre-transaction window set —
+// this realizes the (t_i, t_t] window semantics of paper Def. 1: the
+// initiating event itself is outside the new window, the terminating
+// event inside the old one.
+type Transition struct {
+	Kind    TransitionKind
+	Context int
+	At      event.Time
+}
+
+func (t Transition) String() string {
+	return fmt.Sprintf("%s ctx%d@%d", t.Kind, t.Context, t.At)
+}
+
+// Apply performs one transition on the vector, maintaining the
+// default-context discipline of CI and CT (§4.1): initiating any
+// non-default context removes the default window; terminating the
+// last window re-activates the default. Re-initiating an already
+// active context and terminating an inactive one are no-ops
+// (assumption 2 of §3.3: one window per type at a time).
+func (v *Vector) Apply(t Transition, defaultIdx int) {
+	switch t.Kind {
+	case TransInit:
+		if v.Has(t.Context) {
+			return
+		}
+		v.bits |= 1 << uint(t.Context)
+		if t.Context != defaultIdx {
+			v.bits &^= 1 << uint(defaultIdx)
+		}
+	case TransTerm:
+		if !v.Has(t.Context) {
+			return
+		}
+		v.bits &^= 1 << uint(t.Context)
+		if v.bits == 0 {
+			v.bits = 1 << uint(defaultIdx)
+		}
+	}
+	v.time = t.At
+}
+
+// Reset restores the vector to the startup state: only the default
+// context holds (paper Def. 4: the default context holds when no
+// other does, e.g. at system startup).
+func (v *Vector) Reset(defaultIdx int) {
+	v.bits = 1 << uint(defaultIdx)
+	v.time = 0
+}
+
+// String renders the active context indices for diagnostics.
+func (v *Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for i := 0; i < 64; i++ {
+		if v.Has(i) {
+			if !first {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", i)
+			first = false
+		}
+	}
+	fmt.Fprintf(&b, "}@%d", v.time)
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package algebra
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestVectorStartup(t *testing.T) {
+	v := NewVector(2)
+	if !v.Has(2) || v.Has(0) || v.Empty() {
+		t.Errorf("startup vector = %v", v)
+	}
+	if v.Bits() != 1<<2 || v.Time() != 0 {
+		t.Errorf("bits/time = %b/%d", v.Bits(), v.Time())
+	}
+}
+
+func TestVectorInitTerm(t *testing.T) {
+	const def = 0
+	v := NewVector(def)
+
+	// Initiating a context removes the default window (CI, §4.1).
+	v.Apply(Transition{Kind: TransInit, Context: 3, At: 10}, def)
+	if v.Has(def) || !v.Has(3) || v.Time() != 10 {
+		t.Errorf("after init: %v", v)
+	}
+
+	// Overlapping second context.
+	v.Apply(Transition{Kind: TransInit, Context: 5, At: 11}, def)
+	if !v.Has(3) || !v.Has(5) {
+		t.Errorf("overlap lost: %v", v)
+	}
+
+	// Re-initiating an active context is a no-op (assumption 2) and
+	// must not advance the clock.
+	v.Apply(Transition{Kind: TransInit, Context: 3, At: 12}, def)
+	if v.Time() != 11 {
+		t.Errorf("re-init advanced time: %v", v)
+	}
+
+	// Terminating one of two windows keeps the other; no default yet.
+	v.Apply(Transition{Kind: TransTerm, Context: 3, At: 13}, def)
+	if v.Has(3) || !v.Has(5) || v.Has(def) {
+		t.Errorf("after term 3: %v", v)
+	}
+
+	// Terminating the last window re-activates the default (CT).
+	v.Apply(Transition{Kind: TransTerm, Context: 5, At: 14}, def)
+	if !v.Has(def) || v.Bits() != 1<<def {
+		t.Errorf("default not restored: %v", v)
+	}
+
+	// Terminating an inactive context is a no-op.
+	v.Apply(Transition{Kind: TransTerm, Context: 9, At: 15}, def)
+	if v.Time() != 14 {
+		t.Errorf("no-op term advanced time: %v", v)
+	}
+}
+
+func TestVectorInitDefaultExplicitly(t *testing.T) {
+	const def = 1
+	v := NewVector(def)
+	v.Apply(Transition{Kind: TransInit, Context: 2, At: 1}, def)
+	// Explicitly re-initiating the default must not clear itself.
+	v.Apply(Transition{Kind: TransInit, Context: def, At: 2}, def)
+	if !v.Has(def) || !v.Has(2) {
+		t.Errorf("explicit default init broken: %v", v)
+	}
+}
+
+func TestVectorReset(t *testing.T) {
+	v := NewVector(0)
+	v.Apply(Transition{Kind: TransInit, Context: 4, At: 9}, 0)
+	v.Reset(0)
+	if v.Bits() != 1 || v.Time() != 0 {
+		t.Errorf("reset = %v", v)
+	}
+}
+
+func TestVectorActiveAny(t *testing.T) {
+	v := NewVector(0)
+	v.Apply(Transition{Kind: TransInit, Context: 3, At: 1}, 0)
+	if !v.ActiveAny(1 << 3) {
+		t.Error("ActiveAny(3) false")
+	}
+	if v.ActiveAny(1<<0 | 1<<2) {
+		t.Error("ActiveAny(0|2) true")
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := NewVector(1)
+	v.Apply(Transition{Kind: TransInit, Context: 4, At: 7}, 1)
+	s := v.String()
+	if !strings.Contains(s, "4") || !strings.Contains(s, "@7") {
+		t.Errorf("String = %q", s)
+	}
+	if TransInit.String() != "initiate" || TransTerm.String() != "terminate" {
+		t.Error("TransitionKind strings broken")
+	}
+	if got := (Transition{Kind: TransTerm, Context: 2, At: 3}).String(); got != "terminate ctx2@3" {
+		t.Errorf("Transition String = %q", got)
+	}
+}
+
+// TestVectorNeverEmpty is the invariant property: under any sequence
+// of transitions, some context window always holds (the default fills
+// the gap, paper Def. 4).
+func TestVectorNeverEmpty(t *testing.T) {
+	const def = 0
+	f := func(ops []uint16) bool {
+		v := NewVector(def)
+		for i, op := range ops {
+			tr := Transition{
+				Kind:    TransitionKind(op % 2),
+				Context: int(op/2) % 8,
+				At:      intToTime(i),
+			}
+			v.Apply(tr, def)
+			if v.Empty() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVectorDefaultOnlyWhenAlone: after any transition sequence that
+// never explicitly initiates the default, the default bit is set only
+// when it is the sole active context.
+func TestVectorDefaultOnlyWhenAlone(t *testing.T) {
+	const def = 0
+	f := func(ops []uint16) bool {
+		v := NewVector(def)
+		for i, op := range ops {
+			ctx := 1 + int(op/2)%7 // never the default
+			v.Apply(Transition{Kind: TransitionKind(op % 2), Context: ctx, At: intToTime(i)}, def)
+			if v.Has(def) && v.Bits() != 1<<def {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+// Package core assembles the CAESAR system — the paper's primary
+// contribution — out of its layers (paper Fig. 8): the specification
+// layer (internal/lang, internal/model), the optimization layer
+// (internal/plan, internal/optimizer) and the execution layer
+// (internal/runtime). An Engine owns a compiled model, the optimized
+// (or deliberately non-optimized) query plan, and a configured
+// runtime; Run executes streams against it.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/optimizer"
+	"github.com/caesar-cep/caesar/internal/plan"
+	"github.com/caesar-cep/caesar/internal/runtime"
+)
+
+// Config selects the execution strategy and tuning knobs of an
+// Engine. The zero value is the fully optimized context-aware
+// configuration of the paper.
+type Config struct {
+	// ContextIndependent switches to the state-of-the-art baseline
+	// (§7.3): all queries always on, contexts privately re-derived
+	// per query.
+	ContextIndependent bool
+	// Sharing enables context workload sharing across overlapping
+	// windows (§5.3). Context-aware mode only.
+	Sharing bool
+	// FusePatterns enables the MQO pattern-fusion pass (§5.3):
+	// DERIVE queries with identical pattern, filters, horizon and
+	// context mask share one pattern instance. Context-aware mode
+	// only.
+	FusePatterns bool
+	// DisablePushDown keeps context windows above the pattern/filter
+	// operators (the Fig. 6a / Fig. 11b non-optimized plan).
+	// Context-aware mode only; the baseline is always non-pushed.
+	DisablePushDown bool
+	// PartitionBy names the stream partition key attributes.
+	PartitionBy []string
+	// Workers is the worker pool size (default 4).
+	Workers int
+	// Pacing > 0 replays the stream in scaled real time: one
+	// application time unit takes Pacing of wall time.
+	Pacing time.Duration
+	// DefaultHorizon overrides the default pattern matching horizon
+	// (see plan.DefaultHorizon).
+	DefaultHorizon int64
+	// CollectOutputs retains derived events in Stats.Outputs.
+	CollectOutputs bool
+	// OnOutput receives every derived event; called concurrently
+	// from worker goroutines.
+	OnOutput func(*event.Event)
+}
+
+// Engine is a compiled, optimized, runnable CAESAR system.
+type Engine struct {
+	model *model.Model
+	plan  *plan.Plan
+	rt    *runtime.Engine
+	cfg   Config
+}
+
+// NewEngine compiles the plan for a model and configures the runtime.
+func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
+	opts := plan.Optimized()
+	mode := runtime.ContextAware
+	if cfg.ContextIndependent {
+		opts = plan.Baseline()
+		mode = runtime.ContextIndependent
+		if cfg.Sharing || cfg.FusePatterns {
+			return nil, fmt.Errorf("caesar: workload sharing and pattern fusion require context-aware mode")
+		}
+		if cfg.DisablePushDown {
+			return nil, fmt.Errorf("caesar: the context-independent baseline is already non-pushed-down")
+		}
+	} else if cfg.DisablePushDown {
+		opts = plan.NonOptimized()
+	}
+	opts.DefaultHorizon = cfg.DefaultHorizon
+
+	p, err := plan.Build(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := runtime.New(runtime.Config{
+		Plan:           p,
+		Mode:           mode,
+		Sharing:        cfg.Sharing,
+		Fusion:         cfg.FusePatterns,
+		PartitionBy:    cfg.PartitionBy,
+		Workers:        cfg.Workers,
+		Pacing:         cfg.Pacing,
+		CollectOutputs: cfg.CollectOutputs,
+		OnOutput:       cfg.OnOutput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{model: m, plan: p, rt: rt, cfg: cfg}, nil
+}
+
+// NewEngineFromSource parses, compiles and configures in one step.
+func NewEngineFromSource(src string, cfg Config) (*Engine, error) {
+	m, err := model.CompileSource(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(m, cfg)
+}
+
+// Model returns the compiled model.
+func (e *Engine) Model() *model.Model { return e.model }
+
+// Plan returns the compiled query plan.
+func (e *Engine) Plan() *plan.Plan { return e.plan }
+
+// Registry returns the model's event type registry; event sources
+// must build events against it.
+func (e *Engine) Registry() *event.Registry { return e.model.Registry }
+
+// SharingStats reports how much the workload-sharing pass shrank the
+// query set (1:1 when sharing is off).
+func (e *Engine) SharingStats() optimizer.SharingStats {
+	var qs []*model.Query
+	for _, qp := range e.plan.Queries {
+		qs = append(qs, qp.Query)
+	}
+	if e.cfg.Sharing {
+		return optimizer.Stats(optimizer.ShareWorkload(qs), len(qs))
+	}
+	return optimizer.Stats(optimizer.NonShared(qs), len(qs))
+}
+
+// Run executes the engine over a source until exhaustion. Engines
+// are reusable: each Run starts from fresh partition state.
+func (e *Engine) Run(src event.Source) (*runtime.Stats, error) {
+	return e.rt.Run(src)
+}

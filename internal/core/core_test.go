@@ -1,0 +1,198 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+const coreSrc = `
+EVENT In(k int, v int, sec int)
+EVENT Out(k int, v int)
+
+CONTEXT off DEFAULT
+CONTEXT on
+
+SWITCH CONTEXT on
+PATTERN In i
+WHERE i.v > 100
+CONTEXT off
+
+SWITCH CONTEXT off
+PATTERN In i
+WHERE i.v < 10
+CONTEXT on
+
+DERIVE Out(i.k, i.v)
+PATTERN In i
+CONTEXT on
+
+DERIVE Out(i.k, i.v)
+PATTERN In i
+CONTEXT on
+`
+
+func coreStream(t *testing.T, eng *Engine, n int) *event.SliceSource {
+	t.Helper()
+	in, ok := eng.Registry().Lookup("In")
+	if !ok {
+		t.Fatal("no In schema")
+	}
+	var evs []*event.Event
+	for i := 0; i < n; i++ {
+		v := int64(50)
+		switch {
+		case i == 1:
+			v = 200 // switch on
+		case i == n-2:
+			v = 5 // switch off
+		}
+		evs = append(evs, event.MustNew(in, event.Time(i),
+			event.Int64(1), event.Int64(v), event.Int64(int64(i))))
+	}
+	return event.NewSliceSource(evs)
+}
+
+func TestNewEngineFromSource(t *testing.T) {
+	eng, err := NewEngineFromSource(coreSrc, Config{
+		PartitionBy:    []string{"k"},
+		CollectOutputs: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Model() == nil || eng.Plan() == nil || eng.Registry() == nil {
+		t.Fatal("accessors broken")
+	}
+	st, err := eng.Run(coreStream(t, eng, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window (1, 8]: events at t=2..8 are in the "on" context, each
+	// deriving two Out events (two identical queries, unshared).
+	if st.PerType["Out"] != 14 {
+		t.Fatalf("outputs = %v", st.PerType)
+	}
+}
+
+func TestNewEngineParseError(t *testing.T) {
+	if _, err := NewEngineFromSource("EVENT broken(", Config{}); err == nil {
+		t.Error("parse error not surfaced")
+	}
+}
+
+func TestConfigConflicts(t *testing.T) {
+	m, err := model.CompileSource(coreSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(m, Config{ContextIndependent: true, Sharing: true}); err == nil {
+		t.Error("CI+sharing accepted")
+	}
+	if _, err := NewEngine(m, Config{ContextIndependent: true, DisablePushDown: true}); err == nil {
+		t.Error("CI+no-pushdown accepted")
+	}
+}
+
+func TestSharingStats(t *testing.T) {
+	shared, err := NewEngineFromSource(coreSrc, Config{Sharing: true, PartitionBy: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := shared.SharingStats()
+	// The two identical Out queries merge: 4 queries -> 3 units.
+	if ss.Before != 4 || ss.After != 3 || ss.MaxMembers != 2 {
+		t.Errorf("sharing stats = %+v", ss)
+	}
+	plain, err := NewEngineFromSource(coreSrc, Config{PartitionBy: []string{"k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss := plain.SharingStats(); ss.Before != ss.After {
+		t.Errorf("non-sharing stats shrank: %+v", ss)
+	}
+}
+
+func TestSharedVsUnsharedOutputs(t *testing.T) {
+	run := func(sharing bool) *eventStats {
+		eng, err := NewEngineFromSource(coreSrc, Config{
+			Sharing:        sharing,
+			PartitionBy:    []string{"k"},
+			CollectOutputs: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := eng.Run(coreStream(t, eng, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &eventStats{outs: st.PerType["Out"]}
+	}
+	if sharedOuts := run(true).outs; sharedOuts != 7 {
+		t.Errorf("shared outputs = %d, want 7 (one per event in window)", sharedOuts)
+	}
+	if unsharedOuts := run(false).outs; unsharedOuts != 14 {
+		t.Errorf("unshared outputs = %d, want 14", unsharedOuts)
+	}
+}
+
+type eventStats struct{ outs uint64 }
+
+func TestDisablePushDownStillCorrect(t *testing.T) {
+	eng, err := NewEngineFromSource(coreSrc, Config{
+		DisablePushDown: true,
+		PartitionBy:     []string{"k"},
+		CollectOutputs:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run(coreStream(t, eng, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Single-event patterns cannot span the window boundary, so the
+	// non-pushed plan derives the same outputs.
+	if st.PerType["Out"] != 14 {
+		t.Errorf("outputs = %v", st.PerType)
+	}
+	if st.SuspendedSkips != 0 {
+		t.Error("non-pushed plans must not be suspended")
+	}
+}
+
+func TestPacingConfig(t *testing.T) {
+	eng, err := NewEngineFromSource(coreSrc, Config{
+		PartitionBy: []string{"k"},
+		Pacing:      2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := eng.Run(coreStream(t, eng, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("paced run finished in %v", elapsed)
+	}
+}
+
+func TestDefaultHorizonPropagates(t *testing.T) {
+	eng, err := NewEngineFromSource(coreSrc, Config{DefaultHorizon: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qp := range eng.Plan().Queries {
+		if qp.Horizon != 1234 {
+			t.Errorf("%s horizon = %d", qp.Query.Name, qp.Horizon)
+		}
+	}
+	if !strings.Contains(eng.Plan().Queries[0].Query.Name, "q") {
+		t.Error("query names missing")
+	}
+}

@@ -1,0 +1,151 @@
+package event
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Time is an application timestamp: a point on the linearly ordered
+// time axis of the stream (paper §2). The unit is defined by the
+// event source; the Linear Road benchmark uses seconds.
+type Time int64
+
+// Interval is a closed time interval [Start, End]. A simple event
+// occupies a point interval (Start == End); a complex event spans the
+// occurrence times of all events it was derived from (paper §2).
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Point returns the point interval [t, t].
+func Point(t Time) Interval { return Interval{Start: t, End: t} }
+
+// Contains reports whether t lies within the interval.
+func (iv Interval) Contains(t Time) bool { return iv.Start <= t && t <= iv.End }
+
+// Span returns the smallest interval covering both iv and o.
+func (iv Interval) Span(o Interval) Interval {
+	out := iv
+	if o.Start < out.Start {
+		out.Start = o.Start
+	}
+	if o.End > out.End {
+		out.End = o.End
+	}
+	return out
+}
+
+// Valid reports Start <= End.
+func (iv Interval) Valid() bool { return iv.Start <= iv.End }
+
+func (iv Interval) String() string {
+	if iv.Start == iv.End {
+		return fmt.Sprintf("@%d", iv.Start)
+	}
+	return fmt.Sprintf("@[%d,%d]", iv.Start, iv.End)
+}
+
+// Event is a message indicating that something of interest happened
+// (paper §2). Values are stored positionally in schema field order.
+//
+// Arrival is the system (wall-clock) time in nanoseconds at which the
+// event entered the engine; it is the reference point for the maximal
+// latency metric (paper §7.1). For complex events, Arrival is the
+// latest arrival among constituents.
+type Event struct {
+	Schema  *Schema
+	Time    Interval
+	Arrival int64
+	Values  []Value
+}
+
+// New builds a simple event of the given schema at time t. The number
+// of values must match the schema.
+func New(s *Schema, t Time, values ...Value) (*Event, error) {
+	if len(values) != s.NumFields() {
+		return nil, fmt.Errorf("event: %s expects %d values, got %d", s.Name(), s.NumFields(), len(values))
+	}
+	for i, v := range values {
+		if f := s.Field(i); !kindAssignable(f.Kind, v.Kind) {
+			return nil, fmt.Errorf("event: %s.%s expects %s, got %s", s.Name(), f.Name, f.Kind, v.Kind)
+		}
+	}
+	return &Event{Schema: s, Time: Point(t), Values: values}, nil
+}
+
+// MustNew is New that panics on error; for tests and generators whose
+// schemas are static.
+func MustNew(s *Schema, t Time, values ...Value) *Event {
+	e, err := New(s, t, values...)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func kindAssignable(field, val Kind) bool {
+	if field == val {
+		return true
+	}
+	// Integer constants are accepted for float fields.
+	return field == KindFloat && val == KindInt
+}
+
+// TypeName returns the event type name.
+func (e *Event) TypeName() string { return e.Schema.Name() }
+
+// Get returns the value of the named attribute. It reports ok=false
+// for unknown attributes.
+func (e *Event) Get(name string) (Value, bool) {
+	i := e.Schema.FieldIndex(name)
+	if i < 0 {
+		return Value{}, false
+	}
+	return e.Values[i], true
+}
+
+// At returns the value at field position i.
+func (e *Event) At(i int) Value { return e.Values[i] }
+
+// End returns the occurrence end time: the timestamp at which the
+// event is considered to occur for context window membership and for
+// ordering (for simple events this is the point timestamp).
+func (e *Event) End() Time { return e.Time.End }
+
+// String renders the event for diagnostics:
+// "PositionReport(vid=17, seg=3)@120".
+func (e *Event) String() string {
+	var b strings.Builder
+	b.WriteString(e.Schema.Name())
+	b.WriteByte('(')
+	for i := 0; i < e.Schema.NumFields(); i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.Schema.Field(i).Name)
+		b.WriteByte('=')
+		b.WriteString(e.Values[i].String())
+	}
+	b.WriteByte(')')
+	b.WriteString(e.Time.String())
+	return b.String()
+}
+
+// Equal reports structural equality of two events (schema identity,
+// time interval and all attribute values). Arrival time is excluded:
+// it is a measurement artifact, not part of the event identity.
+func (e *Event) Equal(o *Event) bool {
+	if e == nil || o == nil {
+		return e == o
+	}
+	if e.Schema != o.Schema || e.Time != o.Time || len(e.Values) != len(o.Values) {
+		return false
+	}
+	for i := range e.Values {
+		if !e.Values[i].Equal(o.Values[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,182 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func testSchema(t *testing.T) *Schema {
+	t.Helper()
+	s, err := NewSchema("PositionReport", []Field{
+		{Name: "vid", Kind: KindInt},
+		{Name: "seg", Kind: KindInt},
+		{Name: "speed", Kind: KindFloat},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema("", nil); err == nil {
+		t.Error("empty schema name accepted")
+	}
+	if _, err := NewSchema("E", []Field{{Name: "", Kind: KindInt}}); err == nil {
+		t.Error("empty field name accepted")
+	}
+	if _, err := NewSchema("E", []Field{{Name: "a", Kind: KindInvalid}}); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := NewSchema("E", []Field{{Name: "a", Kind: KindInt}, {Name: "a", Kind: KindInt}}); err == nil {
+		t.Error("duplicate field accepted")
+	}
+}
+
+func TestSchemaAccessors(t *testing.T) {
+	s := testSchema(t)
+	if s.Name() != "PositionReport" || s.NumFields() != 3 {
+		t.Fatalf("bad schema basics: %v", s)
+	}
+	if i := s.FieldIndex("seg"); i != 1 {
+		t.Errorf("FieldIndex(seg) = %d", i)
+	}
+	if i := s.FieldIndex("nope"); i != -1 {
+		t.Errorf("FieldIndex(nope) = %d", i)
+	}
+	if f := s.Field(2); f.Name != "speed" || f.Kind != KindFloat {
+		t.Errorf("Field(2) = %+v", f)
+	}
+	want := "PositionReport(vid int, seg int, speed float)"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	fs := s.Fields()
+	fs[0].Name = "mutated"
+	if s.Field(0).Name != "vid" {
+		t.Error("Fields() must return a copy")
+	}
+}
+
+func TestMustSchemaPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSchema did not panic on invalid schema")
+		}
+	}()
+	MustSchema("E", Field{Name: "", Kind: KindInt})
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	s := MustSchema("A", Field{Name: "x", Kind: KindInt})
+	if err := r.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(MustSchema("A")); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	r.MustRegister(MustSchema("B"))
+	if got, ok := r.Lookup("A"); !ok || got != s {
+		t.Error("Lookup(A) failed")
+	}
+	if _, ok := r.Lookup("Z"); ok {
+		t.Error("Lookup(Z) should fail")
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "A" || names[1] != "B" {
+		t.Errorf("Names() = %v", names)
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len() = %d", r.Len())
+	}
+}
+
+func TestNewEventValidation(t *testing.T) {
+	s := testSchema(t)
+	if _, err := New(s, 10, Int64(1)); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := New(s, 10, Int64(1), String("x"), Float64(1)); err == nil {
+		t.Error("kind mismatch accepted")
+	}
+	// Int constant is assignable to float field.
+	e, err := New(s, 10, Int64(1), Int64(2), Int64(55))
+	if err != nil {
+		t.Fatalf("int->float widening rejected: %v", err)
+	}
+	if e.End() != 10 || !e.Time.Contains(10) {
+		t.Errorf("bad event time: %v", e.Time)
+	}
+}
+
+func TestEventAccessorsAndString(t *testing.T) {
+	s := testSchema(t)
+	e := MustNew(s, 120, Int64(17), Int64(3), Float64(40))
+	if v, ok := e.Get("vid"); !ok || v.Int != 17 {
+		t.Errorf("Get(vid) = %v, %v", v, ok)
+	}
+	if _, ok := e.Get("nope"); ok {
+		t.Error("Get(nope) should fail")
+	}
+	if e.At(1).Int != 3 {
+		t.Errorf("At(1) = %v", e.At(1))
+	}
+	if e.TypeName() != "PositionReport" {
+		t.Errorf("TypeName() = %q", e.TypeName())
+	}
+	str := e.String()
+	if !strings.Contains(str, "vid=17") || !strings.Contains(str, "@120") {
+		t.Errorf("String() = %q", str)
+	}
+}
+
+func TestEventEqual(t *testing.T) {
+	s := testSchema(t)
+	a := MustNew(s, 10, Int64(1), Int64(2), Float64(3))
+	b := MustNew(s, 10, Int64(1), Int64(2), Float64(3))
+	c := MustNew(s, 11, Int64(1), Int64(2), Float64(3))
+	d := MustNew(s, 10, Int64(9), Int64(2), Float64(3))
+	if !a.Equal(b) {
+		t.Error("identical events unequal")
+	}
+	if a.Equal(c) || a.Equal(d) {
+		t.Error("different events equal")
+	}
+	b.Arrival = 999
+	if !a.Equal(b) {
+		t.Error("Arrival must not affect equality")
+	}
+	var nilEv *Event
+	if a.Equal(nilEv) || !nilEv.Equal(nil) {
+		t.Error("nil handling broken")
+	}
+	other := MustSchema("Other", Field{Name: "vid", Kind: KindInt},
+		Field{Name: "seg", Kind: KindInt}, Field{Name: "speed", Kind: KindFloat})
+	e := MustNew(other, 10, Int64(1), Int64(2), Float64(3))
+	if a.Equal(e) {
+		t.Error("events of different schemas must be unequal")
+	}
+}
+
+func TestIntervalOps(t *testing.T) {
+	a := Interval{Start: 5, End: 10}
+	if !a.Valid() || !(Interval{Start: 3, End: 3}).Valid() {
+		t.Error("Valid misreports")
+	}
+	if (Interval{Start: 4, End: 3}).Valid() {
+		t.Error("inverted interval reported valid")
+	}
+	if a.Contains(4) || !a.Contains(5) || !a.Contains(10) || a.Contains(11) {
+		t.Error("Contains misreports")
+	}
+	sp := a.Span(Interval{Start: 2, End: 7})
+	if sp.Start != 2 || sp.End != 10 {
+		t.Errorf("Span = %v", sp)
+	}
+	if got := Point(7).String(); got != "@7" {
+		t.Errorf("Point String = %q", got)
+	}
+	if got := a.String(); got != "@[5,10]" {
+		t.Errorf("Interval String = %q", got)
+	}
+}

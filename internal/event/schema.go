@@ -1,0 +1,143 @@
+package event
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Field is one attribute of an event schema.
+type Field struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes an event type: its name and ordered attribute
+// fields. Events of a type store attribute values positionally, in
+// schema field order, so attribute access never hashes a map on the
+// hot path.
+type Schema struct {
+	name   string
+	fields []Field
+	index  map[string]int
+}
+
+// NewSchema builds a schema. Field names must be unique.
+func NewSchema(name string, fields []Field) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("event: schema name must not be empty")
+	}
+	s := &Schema{
+		name:   name,
+		fields: append([]Field(nil), fields...),
+		index:  make(map[string]int, len(fields)),
+	}
+	for i, f := range s.fields {
+		if f.Name == "" {
+			return nil, fmt.Errorf("event: schema %s: field %d has empty name", name, i)
+		}
+		if f.Kind == KindInvalid {
+			return nil, fmt.Errorf("event: schema %s: field %s has invalid kind", name, f.Name)
+		}
+		if _, dup := s.index[f.Name]; dup {
+			return nil, fmt.Errorf("event: schema %s: duplicate field %s", name, f.Name)
+		}
+		s.index[f.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and
+// package-internal literals.
+func MustSchema(name string, fields ...Field) *Schema {
+	s, err := NewSchema(name, fields)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Name returns the event type name.
+func (s *Schema) Name() string { return s.name }
+
+// NumFields returns the number of attributes.
+func (s *Schema) NumFields() int { return len(s.fields) }
+
+// Field returns the i-th attribute.
+func (s *Schema) Field(i int) Field { return s.fields[i] }
+
+// FieldIndex returns the position of the named attribute, or -1.
+func (s *Schema) FieldIndex(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Fields returns a copy of the attribute list.
+func (s *Schema) Fields() []Field { return append([]Field(nil), s.fields...) }
+
+// String renders the schema as a declaration, e.g.
+// "PositionReport(vid int, seg int)".
+func (s *Schema) String() string {
+	var b strings.Builder
+	b.WriteString(s.name)
+	b.WriteByte('(')
+	for i, f := range s.fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Name)
+		b.WriteByte(' ')
+		b.WriteString(f.Kind.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Registry resolves event type names to schemas. A registry is built
+// once at compile time and is read-only afterwards, so it is safe for
+// concurrent use during execution.
+type Registry struct {
+	byName map[string]*Schema
+}
+
+// NewRegistry returns an empty schema registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Schema)}
+}
+
+// Register adds a schema. Registering a duplicate type name fails.
+func (r *Registry) Register(s *Schema) error {
+	if _, dup := r.byName[s.name]; dup {
+		return fmt.Errorf("event: duplicate event type %s", s.name)
+	}
+	r.byName[s.name] = s
+	return nil
+}
+
+// MustRegister is Register that panics on error.
+func (r *Registry) MustRegister(s *Schema) {
+	if err := r.Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a type name.
+func (r *Registry) Lookup(name string) (*Schema, bool) {
+	s, ok := r.byName[name]
+	return s, ok
+}
+
+// Names returns all registered type names in sorted order.
+func (r *Registry) Names() []string {
+	names := make([]string, 0, len(r.byName))
+	for n := range r.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of registered schemas.
+func (r *Registry) Len() int { return len(r.byName) }

@@ -1,0 +1,219 @@
+package event
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Source yields events in non-decreasing occurrence-time order
+// (paper §6.2: events arrive in-order by time stamps). Next returns
+// nil when the stream is exhausted.
+type Source interface {
+	Next() *Event
+}
+
+// SliceSource replays a slice of events. It validates ordering
+// lazily: yielding an out-of-order event panics, because a source
+// violating the in-order contract would corrupt context derivation.
+type SliceSource struct {
+	events []*Event
+	pos    int
+	last   Time
+}
+
+// NewSliceSource wraps events (not copied) as a Source.
+func NewSliceSource(events []*Event) *SliceSource {
+	return &SliceSource{events: events, last: -1 << 62}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() *Event {
+	if s.pos >= len(s.events) {
+		return nil
+	}
+	e := s.events[s.pos]
+	s.pos++
+	if e.End() < s.last {
+		panic(fmt.Sprintf("event: SliceSource out of order: %v after t=%d", e, s.last))
+	}
+	s.last = e.End()
+	return e
+}
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0; s.last = -1 << 62 }
+
+// Len returns the total number of events in the source.
+func (s *SliceSource) Len() int { return len(s.events) }
+
+// SortByTime sorts events in place by occurrence end time, stably, so
+// that generator output can be fed to a Source.
+func SortByTime(events []*Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].End() < events[j].End() })
+}
+
+// Drain reads a source to exhaustion and returns all events.
+func Drain(src Source) []*Event {
+	var out []*Event
+	for e := src.Next(); e != nil; e = src.Next() {
+		out = append(out, e)
+	}
+	return out
+}
+
+// Writer encodes events as line-oriented text:
+//
+//	TypeName|time|v1|v2|...
+//
+// The format is the on-disk interchange between cmd/lrgen and
+// cmd/caesar. It is intentionally trivial: one line per event, fields
+// separated by '|', strings must not contain '|' or newlines.
+type Writer struct {
+	w *bufio.Writer
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write encodes one event.
+func (w *Writer) Write(e *Event) error {
+	b := w.w
+	if _, err := b.WriteString(e.Schema.Name()); err != nil {
+		return err
+	}
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(int64(e.Time.Start), 10))
+	if e.Time.End != e.Time.Start {
+		b.WriteByte('~')
+		b.WriteString(strconv.FormatInt(int64(e.Time.End), 10))
+	}
+	for _, v := range e.Values {
+		b.WriteByte('|')
+		b.WriteString(v.String())
+	}
+	return b.WriteByte('\n')
+}
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader decodes the Writer format against a schema registry,
+// yielding events as a Source. Decoding errors surface through Err
+// after Next returns nil.
+type Reader struct {
+	sc  *bufio.Scanner
+	reg *Registry
+	err error
+	ln  int
+}
+
+// NewReader wraps r; schemas are resolved through reg.
+func NewReader(r io.Reader, reg *Registry) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{sc: sc, reg: reg}
+}
+
+// Next implements Source. On malformed input it records the error and
+// ends the stream.
+func (r *Reader) Next() *Event {
+	if r.err != nil {
+		return nil
+	}
+	for r.sc.Scan() {
+		r.ln++
+		line := strings.TrimSpace(r.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := r.decode(line)
+		if err != nil {
+			r.err = fmt.Errorf("event: line %d: %w", r.ln, err)
+			return nil
+		}
+		return e
+	}
+	r.err = r.sc.Err()
+	return nil
+}
+
+// Err returns the first decoding or I/O error encountered.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) decode(line string) (*Event, error) {
+	parts := strings.Split(line, "|")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("expected TypeName|time|values..., got %q", line)
+	}
+	schema, ok := r.reg.Lookup(parts[0])
+	if !ok {
+		return nil, fmt.Errorf("unknown event type %q", parts[0])
+	}
+	iv, err := parseInterval(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	vals := parts[2:]
+	if len(vals) != schema.NumFields() {
+		return nil, fmt.Errorf("%s expects %d values, got %d", schema.Name(), schema.NumFields(), len(vals))
+	}
+	values := make([]Value, len(vals))
+	for i, raw := range vals {
+		v, err := parseValue(schema.Field(i).Kind, raw)
+		if err != nil {
+			return nil, fmt.Errorf("%s.%s: %w", schema.Name(), schema.Field(i).Name, err)
+		}
+		values[i] = v
+	}
+	return &Event{Schema: schema, Time: iv, Values: values}, nil
+}
+
+func parseInterval(s string) (Interval, error) {
+	if i := strings.IndexByte(s, '~'); i >= 0 {
+		start, err1 := strconv.ParseInt(s[:i], 10, 64)
+		end, err2 := strconv.ParseInt(s[i+1:], 10, 64)
+		if err1 != nil || err2 != nil || start > end {
+			return Interval{}, fmt.Errorf("bad time interval %q", s)
+		}
+		return Interval{Start: Time(start), End: Time(end)}, nil
+	}
+	t, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return Interval{}, fmt.Errorf("bad time %q", s)
+	}
+	return Point(Time(t)), nil
+}
+
+func parseValue(k Kind, raw string) (Value, error) {
+	switch k {
+	case KindInt:
+		n, err := strconv.ParseInt(raw, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad int %q", raw)
+		}
+		return Int64(n), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad float %q", raw)
+		}
+		return Float64(f), nil
+	case KindString:
+		return String(raw), nil
+	case KindBool:
+		switch raw {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		default:
+			return Value{}, fmt.Errorf("bad bool %q", raw)
+		}
+	default:
+		return Value{}, fmt.Errorf("invalid kind")
+	}
+}

@@ -1,0 +1,222 @@
+// Package event defines the event model underlying the CAESAR engine:
+// typed attribute values, event schemas, events with application-time
+// intervals, and ordered event streams.
+//
+// Events are the only data that flows through CAESAR query plans
+// (paper §2). Simple events carry a point timestamp assigned by the
+// event source; complex events derived by the engine carry the
+// interval spanned by their constituent events.
+package event
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind enumerates the attribute value kinds supported by the engine.
+// The Linear Road benchmark uses integer attributes only; strings and
+// floats appear in WHERE-clause constants and in the physical activity
+// data set.
+type Kind uint8
+
+const (
+	// KindInvalid is the zero Kind; it marks an unset Value.
+	KindInvalid Kind = iota
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit float.
+	KindFloat
+	// KindString is an immutable string.
+	KindString
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the lower-case name of the kind as it appears in
+// event schema declarations ("int", "float", "string", "bool").
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return "invalid"
+	}
+}
+
+// KindFromName parses a schema type name into a Kind.
+func KindFromName(name string) (Kind, bool) {
+	switch name {
+	case "int":
+		return KindInt, true
+	case "float":
+		return KindFloat, true
+	case "string":
+		return KindString, true
+	case "bool":
+		return KindBool, true
+	default:
+		return KindInvalid, false
+	}
+}
+
+// Value is a tagged union holding one attribute value. The struct
+// form avoids interface boxing on the hot path: a query plan touches
+// every attribute of every event, so Values must not allocate.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// Int64 constructs an integer Value.
+func Int64(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// Float64 constructs a float Value.
+func Float64(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// String constructs a string Value.
+func String(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// Bool constructs a boolean Value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{Kind: KindBool, Int: i}
+}
+
+// IsZero reports whether the Value is unset.
+func (v Value) IsZero() bool { return v.Kind == KindInvalid }
+
+// AsBool interprets the value as a boolean. Integers and floats are
+// true when non-zero; strings are true when non-empty.
+func (v Value) AsBool() bool {
+	switch v.Kind {
+	case KindBool, KindInt:
+		return v.Int != 0
+	case KindFloat:
+		return v.Float != 0
+	case KindString:
+		return v.Str != ""
+	default:
+		return false
+	}
+}
+
+// AsFloat returns the numeric value widened to float64. Booleans
+// widen to 0/1; strings return 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt, KindBool:
+		return float64(v.Int)
+	case KindFloat:
+		return v.Float
+	default:
+		return 0
+	}
+}
+
+// Numeric reports whether the value participates in arithmetic.
+func (v Value) Numeric() bool { return v.Kind == KindInt || v.Kind == KindFloat }
+
+// Equal reports deep value equality. Numeric values compare across
+// kinds (1 == 1.0); other kinds must match exactly.
+func (v Value) Equal(o Value) bool {
+	if v.Numeric() && o.Numeric() {
+		if v.Kind == KindInt && o.Kind == KindInt {
+			return v.Int == o.Int
+		}
+		return v.AsFloat() == o.AsFloat()
+	}
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindString:
+		return v.Str == o.Str
+	case KindBool:
+		return v.Int == o.Int
+	default:
+		return true
+	}
+}
+
+// Compare orders two values: -1, 0 or +1. Numeric values compare
+// numerically across kinds; strings lexicographically. Comparing
+// incompatible kinds returns 0 with ok=false.
+func (v Value) Compare(o Value) (cmp int, ok bool) {
+	if v.Numeric() && o.Numeric() {
+		if v.Kind == KindInt && o.Kind == KindInt {
+			switch {
+			case v.Int < o.Int:
+				return -1, true
+			case v.Int > o.Int:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind == KindString && o.Kind == KindString {
+		switch {
+		case v.Str < o.Str:
+			return -1, true
+		case v.Str > o.Str:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.Kind == KindBool && o.Kind == KindBool {
+		switch {
+		case v.Int < o.Int:
+			return -1, true
+		case v.Int > o.Int:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+// String renders the value for diagnostics and stream encoding.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindString:
+		return v.Str
+	case KindBool:
+		if v.Int != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "<invalid>"
+	}
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (v Value) GoString() string {
+	return fmt.Sprintf("event.Value{%s:%s}", v.Kind, v.String())
+}

@@ -1,0 +1,167 @@
+package event
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindInt: "int", KindFloat: "float", KindString: "string",
+		KindBool: "bool", KindInvalid: "invalid", Kind(200): "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestKindFromName(t *testing.T) {
+	for _, name := range []string{"int", "float", "string", "bool"} {
+		k, ok := KindFromName(name)
+		if !ok || k.String() != name {
+			t.Errorf("KindFromName(%q) = %v, %v", name, k, ok)
+		}
+	}
+	if _, ok := KindFromName("int64"); ok {
+		t.Error("KindFromName accepted unknown name")
+	}
+}
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if v := Int64(42); v.Kind != KindInt || v.Int != 42 || v.AsFloat() != 42 || !v.AsBool() {
+		t.Errorf("Int64(42) misbehaves: %#v", v)
+	}
+	if v := Float64(2.5); v.Kind != KindFloat || v.AsFloat() != 2.5 || !v.AsBool() {
+		t.Errorf("Float64(2.5) misbehaves: %#v", v)
+	}
+	if v := String("exit"); v.Kind != KindString || v.Str != "exit" || !v.AsBool() {
+		t.Errorf("String misbehaves: %#v", v)
+	}
+	if v := String(""); v.AsBool() {
+		t.Error("empty string should be false")
+	}
+	if v := Bool(true); !v.AsBool() || v.Kind != KindBool {
+		t.Errorf("Bool(true) misbehaves: %#v", v)
+	}
+	if v := Bool(false); v.AsBool() {
+		t.Error("Bool(false) should be false")
+	}
+	if !(Value{}).IsZero() || Int64(0).IsZero() {
+		t.Error("IsZero misreports")
+	}
+	if (Value{}).AsBool() || (Value{}).AsFloat() != 0 {
+		t.Error("zero Value should be falsy and numerically 0")
+	}
+}
+
+func TestValueEqualAcrossNumericKinds(t *testing.T) {
+	if !Int64(1).Equal(Float64(1.0)) {
+		t.Error("1 should equal 1.0")
+	}
+	if Int64(1).Equal(Float64(1.5)) {
+		t.Error("1 should not equal 1.5")
+	}
+	if Int64(1).Equal(String("1")) {
+		t.Error("numeric must not equal string")
+	}
+	if !String("a").Equal(String("a")) || String("a").Equal(String("b")) {
+		t.Error("string equality broken")
+	}
+	if !Bool(true).Equal(Bool(true)) || Bool(true).Equal(Bool(false)) {
+		t.Error("bool equality broken")
+	}
+	big := int64(1) << 62
+	if !Int64(big).Equal(Int64(big)) {
+		t.Error("large int equality broken")
+	}
+	if Int64(big).Equal(Int64(big + 1)) {
+		t.Error("large ints that differ must not be equal")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	check := func(a, b Value, want int, wantOK bool) {
+		t.Helper()
+		got, ok := a.Compare(b)
+		if got != want || ok != wantOK {
+			t.Errorf("Compare(%v, %v) = %d,%v want %d,%v", a, b, got, ok, want, wantOK)
+		}
+	}
+	check(Int64(1), Int64(2), -1, true)
+	check(Int64(2), Int64(1), 1, true)
+	check(Int64(2), Int64(2), 0, true)
+	check(Float64(1.5), Int64(2), -1, true)
+	check(Int64(2), Float64(1.5), 1, true)
+	check(String("a"), String("b"), -1, true)
+	check(String("b"), String("a"), 1, true)
+	check(String("a"), String("a"), 0, true)
+	check(Bool(false), Bool(true), -1, true)
+	check(Bool(true), Bool(false), 1, true)
+	check(String("a"), Int64(1), 0, false)
+	check(Bool(true), Int64(1), 0, false)
+}
+
+func TestValueCompareLargeIntsExact(t *testing.T) {
+	// int64 values beyond float53 precision must still compare exactly
+	// when both sides are integers.
+	a, b := int64(1)<<60, int64(1)<<60+1
+	if cmp, ok := Int64(a).Compare(Int64(b)); !ok || cmp != -1 {
+		t.Errorf("large int compare lost precision: %d, %v", cmp, ok)
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int64(-7), "-7"},
+		{Float64(2.5), "2.5"},
+		{String("exit"), "exit"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Value{}, "<invalid>"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareConsistentWithEqual(t *testing.T) {
+	// Property: for comparable values, Compare()==0 iff Equal().
+	f := func(a, b int64) bool {
+		va, vb := Int64(a), Int64(b)
+		cmp, ok := va.Compare(vb)
+		return ok && (cmp == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := Float64(a), Float64(b)
+		cmp, ok := va.Compare(vb)
+		return ok && (cmp == 0) == va.Equal(vb)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		x, _ := Int64(a).Compare(Int64(b))
+		y, _ := Int64(b).Compare(Int64(a))
+		return x == -y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

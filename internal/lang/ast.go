@@ -1,0 +1,391 @@
+// Package lang implements the CAESAR event query language: the
+// grammar of paper Fig. 4 (INITIATE/SWITCH/TERMINATE CONTEXT, DERIVE,
+// PATTERN with SEQ and NOT, WHERE, CONTEXT) extended with the model
+// declarations needed for a textual CAESAR model file:
+//
+//	EVENT PositionReport(vid int, seg int, lane int, sec int)
+//	CONTEXT clear DEFAULT
+//	CONTEXT congestion
+//
+//	DERIVE TollNotification(p.vid, p.sec, 5)
+//	PATTERN NewTravelingCar p
+//	CONTEXT congestion
+//
+//	DERIVE NewTravelingCar(p2.vid, p2.seg, p2.sec)
+//	PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+//	WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+//	CONTEXT congestion
+//
+//	INITIATE CONTEXT accident
+//	PATTERN Accident a
+//	CONTEXT clear, congestion
+//
+// All declarations (EVENT, CONTEXT) must precede the first query, so
+// that a CONTEXT keyword inside a query unambiguously introduces the
+// query's context-window clause.
+//
+// The optional WITHIN <seconds> clause is an engine extension (see
+// DESIGN.md): it bounds the pattern matching horizon when the WHERE
+// clause does not pin relative timestamps.
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Pos is a source position for error reporting.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// File is a parsed CAESAR model file.
+type File struct {
+	Schemas  []SchemaDecl
+	Contexts []ContextDecl
+	Queries  []QueryDecl
+}
+
+// SchemaDecl declares an event type: EVENT Name(field kind, ...).
+type SchemaDecl struct {
+	Pos    Pos
+	Name   string
+	Fields []FieldDecl
+}
+
+// FieldDecl is one attribute declaration.
+type FieldDecl struct {
+	Name string
+	Type string
+}
+
+// ContextDecl declares an application context type:
+// CONTEXT name [DEFAULT].
+type ContextDecl struct {
+	Pos     Pos
+	Name    string
+	Default bool
+}
+
+// Action enumerates what a query does when its pattern matches
+// (paper Def. 3).
+type Action int
+
+const (
+	// ActionDerive emits a complex event (context processing query,
+	// or an intermediate derivation feeding other queries).
+	ActionDerive Action = iota
+	// ActionInitiate starts a context window.
+	ActionInitiate
+	// ActionSwitch terminates the current context window and starts a
+	// new one (sequence of two non-overlapping windows, §3.4).
+	ActionSwitch
+	// ActionTerminate ends a context window.
+	ActionTerminate
+)
+
+// String returns the keyword for the action.
+func (a Action) String() string {
+	switch a {
+	case ActionDerive:
+		return "DERIVE"
+	case ActionInitiate:
+		return "INITIATE"
+	case ActionSwitch:
+		return "SWITCH"
+	case ActionTerminate:
+		return "TERMINATE"
+	default:
+		return fmt.Sprintf("Action(%d)", int(a))
+	}
+}
+
+// QueryDecl is one context-aware event query (paper Def. 3).
+type QueryDecl struct {
+	Pos    Pos
+	Action Action
+	// Target is the context being initiated/switched-to/terminated
+	// (window queries only).
+	Target string
+	// Derive is the complex event derivation head (DERIVE queries only).
+	Derive *DeriveClause
+	// Pattern is the event pattern; required for every query.
+	Pattern PatternNode
+	// Where is the optional filter predicate over pattern variables.
+	Where Expr
+	// Within is the optional matching horizon in time units
+	// (engine extension); 0 means unset.
+	Within int64
+	// Tumble is the optional tumbling aggregation window width
+	// (engine extension): the DERIVE arguments may then use the
+	// aggregate functions count(), sum(e), avg(e), min(e) and
+	// max(e), and one event is derived per non-empty window. 0 means
+	// no aggregation.
+	Tumble int64
+	// Contexts lists the context windows the query operates in. Empty
+	// means implied by the surrounding model (made explicit during
+	// plan generation phase 1, §4.2).
+	Contexts []string
+}
+
+// IsWindowQuery reports whether the query derives a context
+// (initiate/switch/terminate) rather than a complex event.
+func (q *QueryDecl) IsWindowQuery() bool { return q.Action != ActionDerive }
+
+// String renders the query back to (normalized) surface syntax.
+func (q *QueryDecl) String() string {
+	var b strings.Builder
+	switch q.Action {
+	case ActionDerive:
+		b.WriteString("DERIVE ")
+		b.WriteString(q.Derive.String())
+	default:
+		fmt.Fprintf(&b, "%s CONTEXT %s", q.Action, q.Target)
+	}
+	if q.Pattern != nil {
+		b.WriteString("\nPATTERN ")
+		b.WriteString(q.Pattern.String())
+	}
+	if q.Where != nil {
+		b.WriteString("\nWHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if q.Within > 0 {
+		fmt.Fprintf(&b, "\nWITHIN %d", q.Within)
+	}
+	if q.Tumble > 0 {
+		fmt.Fprintf(&b, "\nTUMBLE %d", q.Tumble)
+	}
+	if len(q.Contexts) > 0 {
+		b.WriteString("\nCONTEXT ")
+		b.WriteString(strings.Join(q.Contexts, ", "))
+	}
+	return b.String()
+}
+
+// DeriveClause is DERIVE EventType(expr, ...). Args map positionally
+// to the fields of the derived event type's schema.
+type DeriveClause struct {
+	Type string
+	Args []Expr
+}
+
+func (d *DeriveClause) String() string {
+	parts := make([]string, len(d.Args))
+	for i, a := range d.Args {
+		parts[i] = a.String()
+	}
+	return d.Type + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// PatternNode is a node of the PATTERN clause: a (possibly negated)
+// event atom or a SEQ of nodes.
+type PatternNode interface {
+	patternNode()
+	String() string
+	NodePos() Pos
+}
+
+// PatternEvent matches one event: NOT? EventType Var?.
+type PatternEvent struct {
+	Pos     Pos
+	Type    string
+	Var     string
+	Negated bool
+}
+
+func (*PatternEvent) patternNode() {}
+
+// NodePos returns the source position.
+func (p *PatternEvent) NodePos() Pos { return p.Pos }
+
+func (p *PatternEvent) String() string {
+	var b strings.Builder
+	if p.Negated {
+		b.WriteString("NOT ")
+	}
+	b.WriteString(p.Type)
+	if p.Var != "" {
+		b.WriteByte(' ')
+		b.WriteString(p.Var)
+	}
+	return b.String()
+}
+
+// PatternSeq is SEQ(p1, ..., pn).
+type PatternSeq struct {
+	Pos   Pos
+	Parts []PatternNode
+}
+
+func (*PatternSeq) patternNode() {}
+
+// NodePos returns the source position.
+func (p *PatternSeq) NodePos() Pos { return p.Pos }
+
+func (p *PatternSeq) String() string {
+	parts := make([]string, len(p.Parts))
+	for i, n := range p.Parts {
+		parts[i] = n.String()
+	}
+	return "SEQ(" + strings.Join(parts, ", ") + ")"
+}
+
+// Op enumerates the binary operators of the WHERE expression grammar.
+type Op int
+
+// Binary operators in increasing binding strength groups.
+const (
+	OpOr Op = iota
+	OpAnd
+	OpEq
+	OpNeq
+	OpLt
+	OpLeq
+	OpGt
+	OpGeq
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// String returns the surface syntax of the operator.
+func (o Op) String() string {
+	switch o {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNeq:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLeq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGeq:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Comparison reports whether the operator compares values (vs.
+// arithmetic or logical connective).
+func (o Op) Comparison() bool { return o >= OpEq && o <= OpGeq }
+
+// Logical reports whether the operator is AND/OR.
+func (o Op) Logical() bool { return o == OpAnd || o == OpOr }
+
+// Expr is a WHERE/DERIVE expression node.
+type Expr interface {
+	expr()
+	String() string
+	ExprPos() Pos
+}
+
+// BinaryExpr is L op R.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   Op
+	L, R Expr
+}
+
+func (*BinaryExpr) expr() {}
+
+// ExprPos returns the source position.
+func (e *BinaryExpr) ExprPos() Pos { return e.Pos }
+
+func (e *BinaryExpr) String() string {
+	return "(" + e.L.String() + " " + e.Op.String() + " " + e.R.String() + ")"
+}
+
+// UnaryExpr is -X.
+type UnaryExpr struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*UnaryExpr) expr() {}
+
+// ExprPos returns the source position.
+func (e *UnaryExpr) ExprPos() Pos { return e.Pos }
+
+func (e *UnaryExpr) String() string { return "-" + e.X.String() }
+
+// AttrRef references a pattern variable attribute (p.vid) or, with
+// Var == "", a bare attribute resolved against the query's unique
+// pattern variable during model analysis.
+type AttrRef struct {
+	Pos  Pos
+	Var  string
+	Attr string
+}
+
+func (*AttrRef) expr() {}
+
+// ExprPos returns the source position.
+func (e *AttrRef) ExprPos() Pos { return e.Pos }
+
+func (e *AttrRef) String() string {
+	if e.Var == "" {
+		return e.Attr
+	}
+	return e.Var + "." + e.Attr
+}
+
+// CallExpr is an aggregate function call in a TUMBLE query's DERIVE
+// arguments: count(), sum(e), avg(e), min(e), max(e). Arg is nil for
+// count().
+type CallExpr struct {
+	Pos Pos
+	Fn  string
+	Arg Expr
+}
+
+func (*CallExpr) expr() {}
+
+// ExprPos returns the source position.
+func (e *CallExpr) ExprPos() Pos { return e.Pos }
+
+func (e *CallExpr) String() string {
+	if e.Arg == nil {
+		return e.Fn + "()"
+	}
+	return e.Fn + "(" + e.Arg.String() + ")"
+}
+
+// ConstExpr is a literal constant.
+type ConstExpr struct {
+	Pos Pos
+	Val event.Value
+}
+
+func (*ConstExpr) expr() {}
+
+// ExprPos returns the source position.
+func (e *ConstExpr) ExprPos() Pos { return e.Pos }
+
+func (e *ConstExpr) String() string {
+	if e.Val.Kind == event.KindString {
+		return "'" + e.Val.Str + "'"
+	}
+	return e.Val.String()
+}

@@ -1,0 +1,138 @@
+package lang
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// TestNodePositions: every AST node reports the source position of
+// its first token.
+func TestNodePositions(t *testing.T) {
+	f, err := Parse(`CONTEXT c DEFAULT
+DERIVE E(a.v, -1, count())
+PATTERN SEQ(A a, NOT B b)
+WHERE a.v > 2
+TUMBLE 5
+CONTEXT c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := f.Queries[0]
+	if q.Pos.Line != 2 {
+		t.Errorf("query pos = %v", q.Pos)
+	}
+	seq, ok := q.Pattern.(*PatternSeq)
+	if !ok || seq.NodePos().Line != 3 {
+		t.Errorf("pattern pos = %v", q.Pattern.NodePos())
+	}
+	atom := seq.Parts[0].(*PatternEvent)
+	if atom.NodePos().Line != 3 {
+		t.Errorf("atom pos = %v", atom.NodePos())
+	}
+	if q.Where.ExprPos().Line != 4 {
+		t.Errorf("where pos = %v", q.Where.ExprPos())
+	}
+	ref := q.Derive.Args[0].(*AttrRef)
+	if ref.ExprPos().Line != 2 {
+		t.Errorf("ref pos = %v", ref.ExprPos())
+	}
+	neg := q.Derive.Args[1].(*UnaryExpr)
+	if neg.ExprPos().Line != 2 {
+		t.Errorf("unary pos = %v", neg.ExprPos())
+	}
+	call := q.Derive.Args[2].(*CallExpr)
+	if call.ExprPos().Line != 2 || call.Fn != "count" || call.Arg != nil {
+		t.Errorf("call = %+v", call)
+	}
+	inner := neg.X.(*ConstExpr)
+	if inner.ExprPos().Line != 2 {
+		t.Errorf("const pos = %v", inner.ExprPos())
+	}
+}
+
+func TestASTStringForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{&CallExpr{Fn: "count"}, "count()"},
+		{&CallExpr{Fn: "avg", Arg: &AttrRef{Var: "p", Attr: "v"}}, "avg(p.v)"},
+		{&ConstExpr{Val: event.String("x")}, "'x'"},
+		{&ConstExpr{Val: event.Float64(2.5)}, "2.5"},
+		{&ConstExpr{Val: event.Bool(true)}, "true"},
+		{&AttrRef{Attr: "bare"}, "bare"},
+		{&UnaryExpr{X: &ConstExpr{Val: event.Int64(3)}}, "-3"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	pe := &PatternEvent{Type: "A"}
+	if pe.String() != "A" {
+		t.Errorf("bare pattern event = %q", pe.String())
+	}
+	d := &DeriveClause{Type: "E", Args: []Expr{&ConstExpr{Val: event.Int64(1)}}}
+	if d.String() != "E(1)" {
+		t.Errorf("derive = %q", d.String())
+	}
+	if (Pos{Line: 3, Col: 9}).String() != "3:9" {
+		t.Error("Pos string")
+	}
+}
+
+// TestQueryStringWithAllClauses renders a query using every optional
+// clause and re-parses it.
+func TestQueryStringWithAllClauses(t *testing.T) {
+	src := `CONTEXT main DEFAULT
+CONTEXT other
+DERIVE E(count())
+PATTERN SEQ(A a, B b)
+WHERE a.v = b.v
+WITHIN 9
+TUMBLE 3
+CONTEXT main, other`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := f.Queries[0].String()
+	for _, want := range []string{"WITHIN 9", "TUMBLE 3", "CONTEXT main, other", "DERIVE E(count())"} {
+		if !containsLine(rendered, want) {
+			t.Errorf("rendered query missing %q:\n%s", want, rendered)
+		}
+	}
+	f2, err := Parse("CONTEXT main DEFAULT\nCONTEXT other\n" + rendered)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if f2.Queries[0].String() != rendered {
+		t.Error("round trip diverged")
+	}
+}
+
+func containsLine(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestParsePrimaryErrors(t *testing.T) {
+	bad := []string{
+		"(1 + 2",      // missing close paren
+		"count(1",     // unterminated call
+		"a.",          // missing attr
+		"SEQ",         // keyword as expression
+		"",            // empty
+		"1 +",         // missing operand
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) accepted", src)
+		}
+	}
+}

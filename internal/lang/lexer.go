@@ -1,0 +1,303 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokInt
+	tokFloat
+	tokString
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokOp // comparison/arithmetic operator, Op field set
+)
+
+// token is one lexical token.
+type token struct {
+	kind tokenKind
+	pos  Pos
+	text string // identifier/keyword text (keywords upper-cased)
+	ival int64
+	fval float64
+	op   Op
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokKeyword:
+		return fmt.Sprintf("keyword %s", t.text)
+	case tokInt:
+		return fmt.Sprintf("integer %d", t.ival)
+	case tokFloat:
+		return fmt.Sprintf("number %g", t.fval)
+	case tokString:
+		return fmt.Sprintf("string %q", t.text)
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokDot:
+		return "'.'"
+	case tokOp:
+		return fmt.Sprintf("operator %s", t.op)
+	default:
+		return "unknown token"
+	}
+}
+
+// keywords of the CAESAR language. AND/OR/NOT are keywords too but
+// AND/OR are turned into operator tokens by the parser's expression
+// grammar; keeping them as keywords keeps the lexer context-free.
+var keywords = map[string]bool{
+	"EVENT": true, "CONTEXT": true, "DEFAULT": true,
+	"INITIATE": true, "SWITCH": true, "TERMINATE": true,
+	"DERIVE": true, "PATTERN": true, "WHERE": true,
+	"SEQ": true, "NOT": true, "AND": true, "OR": true,
+	"WITHIN": true, "TUMBLE": true,
+}
+
+// lexer turns source text into tokens. '#' and '//' start
+// line comments.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(p Pos, format string, args ...any) error {
+	return fmt.Errorf("caesar: %s: %s", p, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			l.skipLine()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.peekByte() != '\n' {
+		l.advance()
+	}
+}
+
+func (l *lexer) here() Pos { return Pos{Line: l.line, Col: l.col} }
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	pos := l.here()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: pos}, nil
+	}
+	c := l.peekByte()
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch {
+	case isIdentStart(r):
+		return l.lexIdent(pos), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(pos)
+	case c == '\'' || c == '"':
+		return l.lexString(pos)
+	}
+	l.advance()
+	switch c {
+	case '(':
+		return token{kind: tokLParen, pos: pos}, nil
+	case ')':
+		return token{kind: tokRParen, pos: pos}, nil
+	case ',':
+		return token{kind: tokComma, pos: pos}, nil
+	case '.':
+		return token{kind: tokDot, pos: pos}, nil
+	case '+':
+		return token{kind: tokOp, pos: pos, op: OpAdd}, nil
+	case '-':
+		return token{kind: tokOp, pos: pos, op: OpSub}, nil
+	case '*':
+		return token{kind: tokOp, pos: pos, op: OpMul}, nil
+	case '/':
+		return token{kind: tokOp, pos: pos, op: OpDiv}, nil
+	case '=':
+		if l.peekByte() == '=' {
+			l.advance()
+		}
+		return token{kind: tokOp, pos: pos, op: OpEq}, nil
+	case '#': // unreachable: '#' starts a comment; kept for clarity
+		return token{kind: tokOp, pos: pos, op: OpNeq}, nil
+	case '!':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokOp, pos: pos, op: OpNeq}, nil
+		}
+		return token{}, l.errf(pos, "unexpected character '!'")
+	case '<':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokOp, pos: pos, op: OpLeq}, nil
+		}
+		if l.peekByte() == '>' {
+			l.advance()
+			return token{kind: tokOp, pos: pos, op: OpNeq}, nil
+		}
+		return token{kind: tokOp, pos: pos, op: OpLt}, nil
+	case '>':
+		if l.peekByte() == '=' {
+			l.advance()
+			return token{kind: tokOp, pos: pos, op: OpGeq}, nil
+		}
+		return token{kind: tokOp, pos: pos, op: OpGt}, nil
+	}
+	return token{}, l.errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentRune(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent(pos Pos) token {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentRune(r) {
+			break
+		}
+		for i := 0; i < size; i++ {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		switch upper {
+		case "AND":
+			return token{kind: tokOp, pos: pos, op: OpAnd, text: upper}
+		case "OR":
+			return token{kind: tokOp, pos: pos, op: OpOr, text: upper}
+		}
+		return token{kind: tokKeyword, pos: pos, text: upper}
+	}
+	return token{kind: tokIdent, pos: pos, text: text}
+}
+
+func (l *lexer) lexNumber(pos Pos) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+		l.advance()
+	}
+	isFloat := false
+	// A '.' is part of the number only when followed by a digit, so
+	// that "p2.vid" style member access still lexes after integers in
+	// future grammar growth.
+	if l.pos+1 < len(l.src) && l.peekByte() == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		isFloat = true
+		l.advance()
+		for l.pos < len(l.src) && l.peekByte() >= '0' && l.peekByte() <= '9' {
+			l.advance()
+		}
+	}
+	text := l.src[start:l.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token{}, l.errf(pos, "bad number %q", text)
+		}
+		return token{kind: tokFloat, pos: pos, fval: f}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return token{}, l.errf(pos, "bad integer %q", text)
+	}
+	return token{kind: tokInt, pos: pos, ival: n}, nil
+}
+
+func (l *lexer) lexString(pos Pos) (token, error) {
+	quote := l.advance()
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if c == '\n' {
+			break
+		}
+		if c == quote {
+			text := l.src[start:l.pos]
+			l.advance()
+			return token{kind: tokString, pos: pos, text: text}, nil
+		}
+		l.advance()
+	}
+	return token{}, l.errf(pos, "unterminated string literal")
+}
+
+// constValue converts a literal token to an event.Value; used by the
+// parser for WHERE/DERIVE constants.
+func constValue(t token) event.Value {
+	switch t.kind {
+	case tokInt:
+		return event.Int64(t.ival)
+	case tokFloat:
+		return event.Float64(t.fval)
+	case tokString:
+		return event.String(t.text)
+	default:
+		return event.Value{}
+	}
+}

@@ -1,0 +1,151 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var out []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	toks := lexAll(t, "derive Pattern WHERE seq not Within tumble")
+	kinds := []tokenKind{tokKeyword, tokKeyword, tokKeyword, tokKeyword, tokKeyword, tokKeyword, tokKeyword}
+	texts := []string{"DERIVE", "PATTERN", "WHERE", "SEQ", "NOT", "WITHIN", "TUMBLE"}
+	if len(toks) != len(kinds) {
+		t.Fatalf("tokens = %d", len(toks))
+	}
+	for i := range toks {
+		if toks[i].kind != kinds[i] || toks[i].text != texts[i] {
+			t.Errorf("token %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexAndOrAreOperators(t *testing.T) {
+	toks := lexAll(t, "and OR")
+	if toks[0].kind != tokOp || toks[0].op != OpAnd {
+		t.Errorf("and = %v", toks[0])
+	}
+	if toks[1].kind != tokOp || toks[1].op != OpOr {
+		t.Errorf("OR = %v", toks[1])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexAll(t, "42 3.5 0 007")
+	if toks[0].kind != tokInt || toks[0].ival != 42 {
+		t.Errorf("42 = %v", toks[0])
+	}
+	if toks[1].kind != tokFloat || toks[1].fval != 3.5 {
+		t.Errorf("3.5 = %v", toks[1])
+	}
+	if toks[3].kind != tokInt || toks[3].ival != 7 {
+		t.Errorf("007 = %v", toks[3])
+	}
+}
+
+func TestLexDotDisambiguation(t *testing.T) {
+	// "p2.vid" must lex as IDENT DOT IDENT, not a float.
+	toks := lexAll(t, "p2.vid")
+	if len(toks) != 3 || toks[0].kind != tokIdent || toks[1].kind != tokDot || toks[2].kind != tokIdent {
+		t.Fatalf("p2.vid tokens = %v", toks)
+	}
+	// But "2.5" after an identifier is a float.
+	toks = lexAll(t, "x 2.5")
+	if len(toks) != 2 || toks[1].kind != tokFloat {
+		t.Fatalf("x 2.5 tokens = %v", toks)
+	}
+}
+
+func TestLexStringsBothQuotes(t *testing.T) {
+	toks := lexAll(t, `'exit' "entry"`)
+	if toks[0].kind != tokString || toks[0].text != "exit" {
+		t.Errorf("single-quoted = %v", toks[0])
+	}
+	if toks[1].kind != tokString || toks[1].text != "entry" {
+		t.Errorf("double-quoted = %v", toks[1])
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	cases := map[string]Op{
+		"=": OpEq, "==": OpEq, "!=": OpNeq, "<>": OpNeq,
+		"<": OpLt, "<=": OpLeq, ">": OpGt, ">=": OpGeq,
+		"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv,
+	}
+	for src, want := range cases {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].kind != tokOp || toks[0].op != want {
+			t.Errorf("%q = %v, want %v", src, toks, want)
+		}
+	}
+}
+
+func TestLexCommentsAndPositions(t *testing.T) {
+	toks := lexAll(t, "# line one\nfoo // rest\n  bar")
+	if len(toks) != 2 {
+		t.Fatalf("tokens = %v", toks)
+	}
+	if toks[0].pos.Line != 2 || toks[0].pos.Col != 1 {
+		t.Errorf("foo pos = %v", toks[0].pos)
+	}
+	if toks[1].pos.Line != 3 || toks[1].pos.Col != 3 {
+		t.Errorf("bar pos = %v", toks[1].pos)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"'unterminated", "'newline\n'", "@", "!x"} {
+		l := newLexer(src)
+		var err error
+		for {
+			var tok token
+			tok, err = l.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("%q lexed without error", src)
+		}
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks := lexAll(t, "größe μ2")
+	if len(toks) != 2 || toks[0].kind != tokIdent || toks[0].text != "größe" {
+		t.Errorf("unicode idents = %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks := lexAll(t, "DERIVE x 1 2.5 'a' ( ) , . +")
+	var all []string
+	for _, tok := range toks {
+		all = append(all, tok.String())
+	}
+	joined := strings.Join(all, " ")
+	for _, want := range []string{"keyword DERIVE", `identifier "x"`, "integer 1", "number 2.5", `string "a"`, "'('", "')'", "','", "'.'", "operator +"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("token strings missing %q in %q", want, joined)
+		}
+	}
+	eof := token{kind: tokEOF}
+	if eof.String() != "end of input" {
+		t.Errorf("EOF string = %q", eof.String())
+	}
+}

@@ -1,0 +1,532 @@
+package lang
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Parse parses a CAESAR model file (declarations followed by
+// queries). It returns the raw AST; name resolution, type checking
+// and model validation happen in the model package.
+func Parse(src string) (*File, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+// ParseExpr parses a standalone WHERE-style expression. Exposed for
+// the predicate package's tests and for tools.
+func ParseExpr(src string) (Expr, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errUnexpected("end of expression")
+	}
+	return e, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errUnexpected(want string) error {
+	return fmt.Errorf("caesar: %s: unexpected %s, expected %s", p.tok.pos, p.tok, want)
+}
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.tok.kind == tokKeyword && p.tok.text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errUnexpected(kw)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent() (string, Pos, error) {
+	if p.tok.kind != tokIdent {
+		return "", p.tok.pos, p.errUnexpected("identifier")
+	}
+	name, pos := p.tok.text, p.tok.pos
+	if err := p.advance(); err != nil {
+		return "", pos, err
+	}
+	return name, pos, nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.tok.kind != kind {
+		return p.errUnexpected(what)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	// Declarations: EVENT and CONTEXT, until the first query keyword.
+	for {
+		switch {
+		case p.atKeyword("EVENT"):
+			d, err := p.parseSchemaDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Schemas = append(f.Schemas, *d)
+		case p.atKeyword("CONTEXT"):
+			d, err := p.parseContextDecl()
+			if err != nil {
+				return nil, err
+			}
+			f.Contexts = append(f.Contexts, *d)
+		default:
+			goto queries
+		}
+	}
+queries:
+	for p.tok.kind != tokEOF {
+		q, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		f.Queries = append(f.Queries, *q)
+	}
+	return f, nil
+}
+
+func (p *parser) parseSchemaDecl() (*SchemaDecl, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // consume EVENT
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	d := &SchemaDecl{Pos: pos, Name: name}
+	for p.tok.kind != tokRParen {
+		fname, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		ftype, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		d.Fields = append(d.Fields, FieldDecl{Name: fname, Type: ftype})
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.tok.kind != tokRParen {
+			return nil, p.errUnexpected("',' or ')'")
+		}
+	}
+	return d, p.advance() // consume ')'
+}
+
+func (p *parser) parseContextDecl() (*ContextDecl, error) {
+	pos := p.tok.pos
+	if err := p.advance(); err != nil { // consume CONTEXT
+		return nil, err
+	}
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	d := &ContextDecl{Pos: pos, Name: name}
+	if p.atKeyword("DEFAULT") {
+		d.Default = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (p *parser) parseQuery() (*QueryDecl, error) {
+	q := &QueryDecl{Pos: p.tok.pos}
+	switch {
+	case p.atKeyword("DERIVE"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		d, err := p.parseDeriveClause()
+		if err != nil {
+			return nil, err
+		}
+		q.Action = ActionDerive
+		q.Derive = d
+	case p.atKeyword("INITIATE"), p.atKeyword("SWITCH"), p.atKeyword("TERMINATE"):
+		switch p.tok.text {
+		case "INITIATE":
+			q.Action = ActionInitiate
+		case "SWITCH":
+			q.Action = ActionSwitch
+		case "TERMINATE":
+			q.Action = ActionTerminate
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("CONTEXT"); err != nil {
+			return nil, err
+		}
+		name, _, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Target = name
+	default:
+		return nil, p.errUnexpected("DERIVE, INITIATE, SWITCH or TERMINATE")
+	}
+
+	if err := p.expectKeyword("PATTERN"); err != nil {
+		return nil, err
+	}
+	pat, err := p.parsePattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Pattern = pat
+
+	if p.atKeyword("WHERE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Where = e
+	}
+	if p.atKeyword("WITHIN") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt || p.tok.ival <= 0 {
+			return nil, p.errUnexpected("positive integer horizon")
+		}
+		q.Within = p.tok.ival
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("TUMBLE") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt || p.tok.ival <= 0 {
+			return nil, p.errUnexpected("positive integer window width")
+		}
+		q.Tumble = p.tok.ival
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	if p.atKeyword("CONTEXT") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		for {
+			name, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			q.Contexts = append(q.Contexts, name)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) parseDeriveClause() (*DeriveClause, error) {
+	name, _, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	d := &DeriveClause{Type: name}
+	for p.tok.kind != tokRParen {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Args = append(d.Args, e)
+		if p.tok.kind == tokComma {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.tok.kind != tokRParen {
+			return nil, p.errUnexpected("',' or ')'")
+		}
+	}
+	return d, p.advance() // consume ')'
+}
+
+// parsePattern parses Patt := NOT? EventType Var? | SEQ((Patt ,?)+).
+func (p *parser) parsePattern() (PatternNode, error) {
+	pos := p.tok.pos
+	if p.atKeyword("SEQ") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		seq := &PatternSeq{Pos: pos}
+		for {
+			n, err := p.parsePattern()
+			if err != nil {
+				return nil, err
+			}
+			seq.Parts = append(seq.Parts, n)
+			if p.tok.kind == tokComma {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return seq, nil
+	}
+	negated := false
+	if p.atKeyword("NOT") {
+		negated = true
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.atKeyword("SEQ") {
+			return nil, fmt.Errorf("caesar: %s: NOT applies to a single event type, not SEQ", p.tok.pos)
+		}
+	}
+	typ, tpos, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ev := &PatternEvent{Pos: tpos, Type: typ, Negated: negated}
+	if p.tok.kind == tokIdent {
+		ev.Var = p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	return ev, nil
+}
+
+// Expression grammar with standard precedence:
+// expr := and (OR and)* ; and := cmp (AND cmp)* ;
+// cmp := add ((=|!=|<|<=|>|>=) add)? ;
+// add := mul ((+|-) mul)* ; mul := unary ((*|/) unary)* ;
+// unary := '-' unary | primary ;
+// primary := const | ident ('.' ident)? | '(' expr ')'.
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.op == OpOr {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseCmp()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && p.tok.op == OpAnd {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseCmp()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tokOp && p.tok.op.Comparison() {
+		op, pos := p.tok.op, p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Pos: pos, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.op == OpAdd || p.tok.op == OpSub) {
+		op, pos := p.tok.op, p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokOp && (p.tok.op == OpMul || p.tok.op == OpDiv) {
+		op, pos := p.tok.op, p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Pos: pos, Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.tok.kind == tokOp && p.tok.op == OpSub {
+		pos := p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: pos, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokInt, tokFloat, tokString:
+		e := &ConstExpr{Pos: p.tok.pos, Val: constValue(p.tok)}
+		return e, p.advance()
+	case tokIdent:
+		name, pos := p.tok.text, p.tok.pos
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind == tokLParen {
+			// Aggregate function call: count(), avg(e), ...
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			call := &CallExpr{Pos: pos, Fn: name}
+			if p.tok.kind != tokRParen {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Arg = arg
+			}
+			if err := p.expect(tokRParen, "')'"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		if p.tok.kind == tokDot {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			attr, _, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			return &AttrRef{Pos: pos, Var: name, Attr: attr}, nil
+		}
+		// Bare identifiers: true/false booleans, otherwise an
+		// attribute of the query's unique pattern variable.
+		switch name {
+		case "true":
+			return &ConstExpr{Pos: pos, Val: boolVal(true)}, nil
+		case "false":
+			return &ConstExpr{Pos: pos, Val: boolVal(false)}, nil
+		}
+		return &AttrRef{Pos: pos, Attr: name}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errUnexpected("expression")
+	}
+}
+
+func boolVal(b bool) event.Value { return event.Bool(b) }

@@ -1,0 +1,341 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+const trafficModel = `
+# Traffic management model (paper Fig. 3, simplified)
+EVENT PositionReport(vid int, xway int, lane int, dir int, seg int, pos int, sec int)
+EVENT NewTravelingCar(vid int, xway int, dir int, seg int, lane int, pos int, sec int)
+EVENT TollNotification(vid int, sec int, toll int)
+EVENT Accident(seg int, sec int)
+
+CONTEXT clear DEFAULT
+CONTEXT congestion
+CONTEXT accident
+
+DERIVE TollNotification(p.vid, p.sec, 5)
+PATTERN NewTravelingCar p
+CONTEXT congestion
+
+DERIVE NewTravelingCar(p2.vid, p2.xway, p2.dir, p2.seg, p2.lane, p2.pos, p2.sec)
+PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+CONTEXT congestion
+
+INITIATE CONTEXT accident
+PATTERN Accident a
+CONTEXT clear, congestion
+`
+
+func TestParseTrafficModel(t *testing.T) {
+	f, err := Parse(trafficModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Schemas) != 4 {
+		t.Fatalf("schemas = %d, want 4", len(f.Schemas))
+	}
+	pr := f.Schemas[0]
+	if pr.Name != "PositionReport" || len(pr.Fields) != 7 {
+		t.Errorf("schema 0 = %+v", pr)
+	}
+	if pr.Fields[0].Name != "vid" || pr.Fields[0].Type != "int" {
+		t.Errorf("field 0 = %+v", pr.Fields[0])
+	}
+	if len(f.Contexts) != 3 {
+		t.Fatalf("contexts = %d, want 3", len(f.Contexts))
+	}
+	if !f.Contexts[0].Default || f.Contexts[0].Name != "clear" {
+		t.Errorf("context 0 = %+v", f.Contexts[0])
+	}
+	if f.Contexts[1].Default || f.Contexts[2].Default {
+		t.Error("only clear should be default")
+	}
+	if len(f.Queries) != 3 {
+		t.Fatalf("queries = %d, want 3", len(f.Queries))
+	}
+
+	q0 := f.Queries[0]
+	if q0.Action != ActionDerive || q0.Derive.Type != "TollNotification" || len(q0.Derive.Args) != 3 {
+		t.Errorf("query 0 head = %v", q0.String())
+	}
+	if q0.IsWindowQuery() {
+		t.Error("DERIVE query reported as window query")
+	}
+	if pe, ok := q0.Pattern.(*PatternEvent); !ok || pe.Type != "NewTravelingCar" || pe.Var != "p" || pe.Negated {
+		t.Errorf("query 0 pattern = %v", q0.Pattern)
+	}
+	if len(q0.Contexts) != 1 || q0.Contexts[0] != "congestion" {
+		t.Errorf("query 0 contexts = %v", q0.Contexts)
+	}
+	if c, ok := q0.Derive.Args[2].(*ConstExpr); !ok || c.Val.Int != 5 {
+		t.Errorf("query 0 derive arg 2 = %v", q0.Derive.Args[2])
+	}
+
+	q1 := f.Queries[1]
+	seq, ok := q1.Pattern.(*PatternSeq)
+	if !ok || len(seq.Parts) != 2 {
+		t.Fatalf("query 1 pattern = %v", q1.Pattern)
+	}
+	if p1, ok := seq.Parts[0].(*PatternEvent); !ok || !p1.Negated || p1.Var != "p1" {
+		t.Errorf("query 1 part 0 = %v", seq.Parts[0])
+	}
+	if q1.Where == nil {
+		t.Fatal("query 1 has no WHERE")
+	}
+	// WHERE is a conjunction of three conjuncts parsed left-assoc:
+	// ((a AND b) AND c)
+	top, ok := q1.Where.(*BinaryExpr)
+	if !ok || top.Op != OpAnd {
+		t.Fatalf("query 1 where = %v", q1.Where)
+	}
+	last, ok := top.R.(*BinaryExpr)
+	if !ok || last.Op != OpNeq {
+		t.Fatalf("last conjunct = %v", top.R)
+	}
+
+	q2 := f.Queries[2]
+	if q2.Action != ActionInitiate || q2.Target != "accident" || !q2.IsWindowQuery() {
+		t.Errorf("query 2 = %v", q2.String())
+	}
+	if len(q2.Contexts) != 2 || q2.Contexts[0] != "clear" || q2.Contexts[1] != "congestion" {
+		t.Errorf("query 2 contexts = %v", q2.Contexts)
+	}
+}
+
+func TestParseSwitchTerminateWithin(t *testing.T) {
+	src := `
+CONTEXT a DEFAULT
+CONTEXT b
+
+SWITCH CONTEXT b
+PATTERN SEQ(E1 x, E2 y)
+WHERE x.v >= 10 OR y.v <= -3
+WITHIN 120
+CONTEXT a
+
+TERMINATE CONTEXT b
+PATTERN E2 z
+WHERE z.v = 'exit'
+CONTEXT b
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queries) != 2 {
+		t.Fatalf("queries = %d", len(f.Queries))
+	}
+	sw := f.Queries[0]
+	if sw.Action != ActionSwitch || sw.Target != "b" || sw.Within != 120 {
+		t.Errorf("switch query = %+v", sw)
+	}
+	or, ok := sw.Where.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("where = %v", sw.Where)
+	}
+	right := or.R.(*BinaryExpr)
+	if right.Op != OpLeq {
+		t.Errorf("right = %v", right)
+	}
+	if u, ok := right.R.(*UnaryExpr); !ok {
+		t.Errorf("expected unary minus, got %v", right.R)
+	} else if c := u.X.(*ConstExpr); c.Val.Int != 3 {
+		t.Errorf("unary operand = %v", u.X)
+	}
+	tm := f.Queries[1]
+	if tm.Action != ActionTerminate || tm.Target != "b" {
+		t.Errorf("terminate query = %+v", tm)
+	}
+	cmp := tm.Where.(*BinaryExpr)
+	if c, ok := cmp.R.(*ConstExpr); !ok || c.Val.Kind != event.KindString || c.Val.Str != "exit" {
+		t.Errorf("string const = %v", cmp.R)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	e, err := ParseExpr("a.x + 2 * 3 = 7 AND b.y > 1 OR c.z < 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "((((a.x + (2 * 3)) = 7) AND (b.y > 1)) OR (c.z < 2))"
+	if got := e.String(); got != want {
+		t.Errorf("parsed %q, want %q", got, want)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	e, err := ParseExpr("(a.x + 2) * 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "((a.x + 2) * 3)"; e.String() != want {
+		t.Errorf("parsed %q, want %q", e.String(), want)
+	}
+}
+
+func TestParseBareAttributeAndBooleans(t *testing.T) {
+	e, err := ParseExpr("speed < 40 AND ok = true AND bad = false")
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := e.(*BinaryExpr)
+	mid := top.L.(*BinaryExpr)
+	cmpSpeed := mid.L.(*BinaryExpr)
+	ref, ok := cmpSpeed.L.(*AttrRef)
+	if !ok || ref.Var != "" || ref.Attr != "speed" {
+		t.Errorf("bare attr = %v", cmpSpeed.L)
+	}
+	cmpOK := mid.R.(*BinaryExpr)
+	if c, ok := cmpOK.R.(*ConstExpr); !ok || !c.Val.AsBool() || c.Val.Kind != event.KindBool {
+		t.Errorf("true const = %v", cmpOK.R)
+	}
+}
+
+func TestParseNeqVariants(t *testing.T) {
+	for _, src := range []string{"a.x != 1", "a.x <> 1"} {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("%s: %v", src, err)
+		}
+		if b := e.(*BinaryExpr); b.Op != OpNeq {
+			t.Errorf("%s parsed as %v", src, b.Op)
+		}
+	}
+}
+
+func TestParseEqEqAlias(t *testing.T) {
+	e, err := ParseExpr("a.x == 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := e.(*BinaryExpr); b.Op != OpEq {
+		t.Errorf("== parsed as %v", b.Op)
+	}
+}
+
+func TestParseNestedSeqFlattensLater(t *testing.T) {
+	src := `
+CONTEXT c DEFAULT
+DERIVE E(a.v)
+PATTERN SEQ(A a, SEQ(B b, C c2), NOT D)
+CONTEXT c
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := f.Queries[0].Pattern.(*PatternSeq)
+	if len(seq.Parts) != 3 {
+		t.Fatalf("parts = %d", len(seq.Parts))
+	}
+	inner, ok := seq.Parts[1].(*PatternSeq)
+	if !ok || len(inner.Parts) != 2 {
+		t.Errorf("inner = %v", seq.Parts[1])
+	}
+	last := seq.Parts[2].(*PatternEvent)
+	if !last.Negated || last.Var != "" || last.Type != "D" {
+		t.Errorf("last = %+v", last)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no pattern", "CONTEXT c DEFAULT\nDERIVE E(1)\nCONTEXT c", "PATTERN"},
+		{"bad action", "CONTEXT c DEFAULT\nFOO E(1)", "DERIVE, INITIATE"},
+		{"not seq", "CONTEXT c DEFAULT\nDERIVE E(1)\nPATTERN NOT SEQ(A a)", "NOT applies"},
+		{"initiate missing context kw", "INITIATE foo\nPATTERN A a", "CONTEXT"},
+		{"bad within", "CONTEXT c DEFAULT\nDERIVE E(1)\nPATTERN A a\nWITHIN 0", "positive integer"},
+		{"unterminated string", "CONTEXT c DEFAULT\nDERIVE E('x)\nPATTERN A a", "unterminated"},
+		{"bang", "CONTEXT c DEFAULT\nDERIVE E(1 ! 2)\nPATTERN A a", "unexpected character"},
+		{"bad schema field", "EVENT E(x)", "identifier"},
+		{"trailing garbage in expr", "", ""}, // placeholder; exercised below
+	}
+	for _, c := range cases {
+		if c.src == "" {
+			continue
+		}
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("parse accepted %q", c.src)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+	if _, err := ParseExpr("1 + 2 extra stuff +"); err == nil {
+		t.Error("trailing garbage accepted in expression")
+	}
+}
+
+func TestQueryStringRoundTrip(t *testing.T) {
+	// Parsing the String() rendering of a parsed query must yield the
+	// same rendering (normalization fixed point).
+	f, err := Parse(trafficModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range f.Queries {
+		src := "CONTEXT clear DEFAULT\nCONTEXT congestion\nCONTEXT accident\n" + q.String()
+		f2, err := Parse(src)
+		if err != nil {
+			t.Fatalf("query %d: reparse of %q failed: %v", i, q.String(), err)
+		}
+		if got := f2.Queries[0].String(); got != q.String() {
+			t.Errorf("query %d: round trip changed:\n 1st: %s\n 2nd: %s", i, q.String(), got)
+		}
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionDerive.String() != "DERIVE" || ActionInitiate.String() != "INITIATE" ||
+		ActionSwitch.String() != "SWITCH" || ActionTerminate.String() != "TERMINATE" {
+		t.Error("Action.String broken")
+	}
+	if !strings.Contains(Action(99).String(), "99") {
+		t.Error("unknown action string")
+	}
+}
+
+func TestOpHelpers(t *testing.T) {
+	for _, o := range []Op{OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq} {
+		if !o.Comparison() {
+			t.Errorf("%v should be comparison", o)
+		}
+	}
+	for _, o := range []Op{OpAnd, OpOr, OpAdd, OpMul} {
+		if o.Comparison() {
+			t.Errorf("%v should not be comparison", o)
+		}
+	}
+	if !OpAnd.Logical() || !OpOr.Logical() || OpEq.Logical() {
+		t.Error("Logical misreports")
+	}
+}
+
+func TestCommentStyles(t *testing.T) {
+	src := "# hash comment\n// slash comment\nCONTEXT c DEFAULT\nDERIVE E(1) // trailing\nPATTERN A a\nCONTEXT c\n"
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Queries) != 1 {
+		t.Fatalf("queries = %d", len(f.Queries))
+	}
+}
+
+func TestPosReporting(t *testing.T) {
+	_, err := Parse("CONTEXT c DEFAULT\nDERIVE E(\n  &)\nPATTERN A a")
+	if err == nil || !strings.Contains(err.Error(), "3:") {
+		t.Errorf("error should carry line 3 position, got %v", err)
+	}
+}

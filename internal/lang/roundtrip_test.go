@@ -1,0 +1,70 @@
+package lang
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// genExpr builds a random expression tree of bounded depth.
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(4) {
+		case 0:
+			return &ConstExpr{Val: event.Int64(int64(rng.Intn(200) - 100))}
+		case 1:
+			return &ConstExpr{Val: event.Float64(float64(rng.Intn(100)) + 0.5)}
+		case 2:
+			return &ConstExpr{Val: event.String("s" + string(rune('a'+rng.Intn(26))))}
+		default:
+			vars := []string{"p1", "p2", "s"}
+			attrs := []string{"vid", "sec", "speed"}
+			return &AttrRef{Var: vars[rng.Intn(len(vars))], Attr: attrs[rng.Intn(len(attrs))]}
+		}
+	}
+	if rng.Intn(8) == 0 {
+		return &UnaryExpr{X: genExpr(rng, depth-1)}
+	}
+	ops := []Op{OpOr, OpAnd, OpEq, OpNeq, OpLt, OpLeq, OpGt, OpGeq, OpAdd, OpSub, OpMul, OpDiv}
+	return &BinaryExpr{
+		Op: ops[rng.Intn(len(ops))],
+		L:  genExpr(rng, depth-1),
+		R:  genExpr(rng, depth-1),
+	}
+}
+
+// TestExprRoundTripProperty: for random expression trees, parsing the
+// rendered source reproduces the same rendering (the String form is a
+// normal form and the parser inverts it). Type checking is not
+// involved — this is pure syntax.
+func TestExprRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func() bool {
+		e := genExpr(rng, 4)
+		src := e.String()
+		parsed, err := ParseExpr(src)
+		if err != nil {
+			t.Logf("parse %q: %v", src, err)
+			return false
+		}
+		return parsed.String() == src
+	}
+	cfg := &quick.Config{MaxCount: 400}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNegativeConstantRendering: unary minus renders re-parseably.
+func TestNegativeConstantRendering(t *testing.T) {
+	e := &UnaryExpr{X: &ConstExpr{Val: event.Int64(5)}}
+	parsed, err := ParseExpr(e.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.String() != "-5" {
+		t.Errorf("rendered %q", parsed.String())
+	}
+}

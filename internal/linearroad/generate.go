@@ -1,0 +1,281 @@
+package linearroad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// PhaseKind is the ground-truth road condition of a segment.
+type PhaseKind int
+
+const (
+	// Clear traffic: few fast cars.
+	Clear PhaseKind = iota
+	// Congestion: many slow cars.
+	Congestion
+	// Accident: two cars stopped at the same position (implies the
+	// segment is also slow).
+	Accident
+)
+
+func (k PhaseKind) String() string {
+	switch k {
+	case Clear:
+		return "clear"
+	case Congestion:
+		return "congestion"
+	case Accident:
+		return "accident"
+	default:
+		return fmt.Sprintf("PhaseKind(%d)", int(k))
+	}
+}
+
+// Phase is one scripted condition interval [Start, End) in seconds.
+type Phase struct {
+	Kind  PhaseKind
+	Start int64
+	End   int64
+}
+
+// Script returns the phase schedule of one unidirectional segment.
+// Uncovered times are Clear.
+type Script func(road, seg int) []Phase
+
+// Config parameterizes the generator. The zero value is unusable;
+// start from DefaultConfig.
+type Config struct {
+	Roads    int
+	Segments int
+	// Duration of the simulation in seconds (the benchmark runs 3
+	// hours = 10800 s; experiments use compressed durations).
+	Duration int64
+	// ReportEvery is the position report interval (30 s in [9]).
+	ReportEvery int64
+	// StatEvery is the width of the model's SegStat aggregation
+	// window (the TUMBLE 60 clause in ModelSource). The generator
+	// itself emits no statistics — the engine derives them — but
+	// tests and experiments use this to bound transition lag.
+	StatEvery int64
+	// ClearCars / CongestionCars are the car populations per segment
+	// in the respective phases (congestion must reach the >= 40
+	// deriving threshold).
+	ClearCars      int
+	CongestionCars int
+	// Ramp scales populations linearly over time: 1 = flat, 2 =
+	// double by the end (Fig. 10(b): "event rate gradually increases
+	// during 3 hours").
+	Ramp float64
+	// Script is the per-segment phase schedule; nil uses
+	// DefaultScript(Duration).
+	Script Script
+	Seed   int64
+}
+
+// DefaultConfig is a laptop-scale benchmark setup.
+func DefaultConfig() Config {
+	return Config{
+		Roads:          1,
+		Segments:       20,
+		Duration:       1800,
+		ReportEvery:    30,
+		StatEvery:      60,
+		ClearCars:      8,
+		CongestionCars: 50,
+		Ramp:           1.5,
+		Seed:           1,
+	}
+}
+
+// DefaultCongestionStart returns the start of the scripted congestion
+// phase (it runs to the end of the stream).
+func DefaultCongestionStart(duration int64) int64 { return duration * 2 / 5 }
+
+// DefaultAccidentWindow returns the scripted accident phase of the
+// accident segments (seg%5 == 2). The window is aligned to report
+// boundaries and kept at least four report intervals long so the
+// stopped-car detection (two consecutive zero-speed reports) can
+// observe it even on compressed runs; ok=false if the duration is too
+// short to fit one.
+func DefaultAccidentWindow(duration int64) (start, end int64, ok bool) {
+	start = duration * 17 / 100 / 30 * 30
+	end = duration * 28 / 100
+	if end < start+120 {
+		end = start + 120
+	}
+	if cong := DefaultCongestionStart(duration); end > cong {
+		end = cong
+	}
+	return start, end, end > start
+}
+
+// DefaultScript reproduces the shape of paper Fig. 10(b), scaled to
+// the configured duration: every segment is congested for the final
+// 60% of the run; segments with seg%5 == 2 additionally suffer an
+// accident per DefaultAccidentWindow.
+func DefaultScript(duration int64) Script {
+	return func(road, seg int) []Phase {
+		ps := []Phase{{Kind: Congestion, Start: DefaultCongestionStart(duration), End: duration}}
+		if seg%5 == 2 {
+			if start, end, ok := DefaultAccidentWindow(duration); ok {
+				ps = append(ps, Phase{Kind: Accident, Start: start, End: end})
+			}
+		}
+		return ps
+	}
+}
+
+// UniformWindows returns a Script giving every segment n critical
+// phase windows of the given length, evenly spaced over the run —
+// the "uniform context window distribution" of §7.3.1.
+func UniformWindows(duration int64, n int, length int64, kind PhaseKind) Script {
+	return WindowsAt(uniformStarts(duration, n, length), length, kind)
+}
+
+func uniformStarts(duration int64, n int, length int64) []int64 {
+	starts := make([]int64, 0, n)
+	if n <= 0 {
+		return starts
+	}
+	gap := duration / int64(n)
+	for i := 0; i < n; i++ {
+		s := int64(i)*gap + gap/2 - length/2
+		if s < 0 {
+			s = 0
+		}
+		if s+length > duration {
+			s = duration - length
+		}
+		starts = append(starts, s)
+	}
+	return starts
+}
+
+// WindowsAt returns a Script placing one window of the given kind
+// and length at each start time, for every segment.
+func WindowsAt(starts []int64, length int64, kind PhaseKind) Script {
+	return func(road, seg int) []Phase {
+		ps := make([]Phase, 0, len(starts))
+		for _, s := range starts {
+			ps = append(ps, Phase{Kind: kind, Start: s, End: s + length})
+		}
+		return ps
+	}
+}
+
+// phaseAt resolves the scripted condition at time t. Accident wins
+// over congestion when phases overlap.
+func phaseAt(ps []Phase, t int64) PhaseKind {
+	kind := Clear
+	for _, p := range ps {
+		if p.Start <= t && t < p.End {
+			if p.Kind == Accident {
+				return Accident
+			}
+			kind = p.Kind
+		}
+	}
+	return kind
+}
+
+// Generate produces the benchmark event stream, sorted by time. The
+// registry must come from the compiled traffic model (ModelSource) so
+// schema pointers match the engine's.
+func Generate(cfg Config, reg *event.Registry) ([]*event.Event, error) {
+	if cfg.Roads < 1 || cfg.Segments < 1 || cfg.Duration < 1 {
+		return nil, fmt.Errorf("linearroad: roads, segments and duration must be positive")
+	}
+	if cfg.ReportEvery < 1 || cfg.StatEvery < cfg.ReportEvery {
+		return nil, fmt.Errorf("linearroad: need 0 < ReportEvery <= StatEvery")
+	}
+	if cfg.Ramp <= 0 {
+		cfg.Ramp = 1
+	}
+	pr, ok := reg.Lookup("PositionReport")
+	if !ok {
+		return nil, fmt.Errorf("linearroad: registry lacks PositionReport (use the ModelSource registry)")
+	}
+	script := cfg.Script
+	if script == nil {
+		script = DefaultScript(cfg.Duration)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*event.Event
+
+	for road := 0; road < cfg.Roads; road++ {
+		for seg := 0; seg < cfg.Segments; seg++ {
+			phases := script(road, seg)
+			segRng := rand.New(rand.NewSource(cfg.Seed ^ int64(road*7919+seg)*2654435761 + 1))
+			out = append(out, genSegment(cfg, pr, road, seg, phases, segRng)...)
+		}
+	}
+	_ = rng
+	event.SortByTime(out)
+	return out, nil
+}
+
+// genSegment simulates one unidirectional segment.
+func genSegment(cfg Config, pr *event.Schema, road, seg int, phases []Phase, rng *rand.Rand) []*event.Event {
+	var out []*event.Event
+	vidBase := int64(road)*1_000_000 + int64(seg)*10_000
+	stopPos := int64(seg*5280 + 100)
+
+	for t := int64(0); t < cfg.Duration; t += cfg.ReportEvery {
+		kind := phaseAt(phases, t)
+		ramp := 1 + (cfg.Ramp-1)*float64(t)/float64(cfg.Duration)
+		var cars int
+		switch kind {
+		case Congestion:
+			cars = int(float64(cfg.CongestionCars) * ramp)
+		default:
+			// Clear and accident phases carry the light population:
+			// an accident stops cars but does not by itself push the
+			// segment over the congestion car-count threshold, so the
+			// accident and congestion contexts stay separable.
+			cars = int(float64(cfg.ClearCars) * ramp)
+		}
+		if cars < 2 {
+			cars = 2
+		}
+		for k := 0; k < cars; k++ {
+			vid := vidBase + int64(k)
+			var speed int64
+			lane := int64(k % ExitLane) // lanes 0..3
+			if k%11 == 10 {
+				lane = ExitLane
+			}
+			switch kind {
+			case Clear:
+				speed = 45 + int64(rng.Intn(25))
+			case Congestion:
+				speed = 10 + int64(rng.Intn(25))
+			case Accident:
+				if k < 2 {
+					speed = 0
+				} else {
+					speed = 5 + int64(rng.Intn(20))
+				}
+			}
+			pos := stopPos + int64(k)*10
+			if kind == Accident && k < 2 {
+				pos = stopPos
+			}
+			out = append(out, event.MustNew(pr, event.Time(t),
+				event.Int64(vid), event.Int64(int64(road)), event.Int64(lane),
+				event.Int64(0), event.Int64(int64(seg)), event.Int64(pos),
+				event.Int64(speed), event.Int64(t)))
+		}
+	}
+	return out
+}
+
+// CountByType tallies a generated stream for reporting (Fig. 10).
+func CountByType(evs []*event.Event) map[string]int {
+	out := map[string]int{}
+	for _, e := range evs {
+		out[e.TypeName()]++
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+// Package metrics implements the measurements of the CAESAR
+// evaluation (paper §7.1): maximal latency — the longest interval
+// from an event's system arrival time to the derivation time of a
+// complex event based on it — plus counters, and the win ratio of
+// context-aware over context-independent processing.
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyTracker accumulates latency observations from concurrent
+// workers without locks.
+type LatencyTracker struct {
+	max   atomic.Int64
+	sum   atomic.Int64
+	count atomic.Int64
+}
+
+// Observe records one latency sample.
+func (t *LatencyTracker) Observe(d time.Duration) {
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	for {
+		cur := t.max.Load()
+		if n <= cur || t.max.CompareAndSwap(cur, n) {
+			break
+		}
+	}
+	t.sum.Add(n)
+	t.count.Add(1)
+}
+
+// Max returns the maximal observed latency.
+func (t *LatencyTracker) Max() time.Duration { return time.Duration(t.max.Load()) }
+
+// Mean returns the mean observed latency (0 with no samples).
+func (t *LatencyTracker) Mean() time.Duration {
+	c := t.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return time.Duration(t.sum.Load() / c)
+}
+
+// Count returns the number of samples.
+func (t *LatencyTracker) Count() int64 { return t.count.Load() }
+
+// Reset clears the tracker.
+func (t *LatencyTracker) Reset() {
+	t.max.Store(0)
+	t.sum.Store(0)
+	t.count.Store(0)
+}
+
+// WinRatio is the paper's headline metric: the maximal latency of the
+// baseline divided by the maximal latency of the contender (§7.1).
+// It returns 0 when the contender latency is zero.
+func WinRatio(baseline, contender time.Duration) float64 {
+	if contender <= 0 {
+		return 0
+	}
+	return float64(baseline) / float64(contender)
+}
+
+// LFactor is the scalability metric of the Linear Road benchmark: the
+// largest input scale (number of roads) whose maximal latency stays
+// within the constraint. latencies[i] is the measured maximal latency
+// at scale scales[i]; scales must be increasing.
+func LFactor(scales []int, latencies []time.Duration, constraint time.Duration) int {
+	best := 0
+	for i, s := range scales {
+		if latencies[i] <= constraint && s > best {
+			best = s
+		}
+	}
+	return best
+}

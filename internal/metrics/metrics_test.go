@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerBasics(t *testing.T) {
+	var lt LatencyTracker
+	if lt.Max() != 0 || lt.Mean() != 0 || lt.Count() != 0 {
+		t.Error("zero tracker not zero")
+	}
+	lt.Observe(10 * time.Millisecond)
+	lt.Observe(30 * time.Millisecond)
+	lt.Observe(20 * time.Millisecond)
+	if lt.Max() != 30*time.Millisecond {
+		t.Errorf("max = %v", lt.Max())
+	}
+	if lt.Mean() != 20*time.Millisecond {
+		t.Errorf("mean = %v", lt.Mean())
+	}
+	if lt.Count() != 3 {
+		t.Errorf("count = %d", lt.Count())
+	}
+	lt.Reset()
+	if lt.Max() != 0 || lt.Count() != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestLatencyTrackerNegativeClamped(t *testing.T) {
+	var lt LatencyTracker
+	lt.Observe(-5 * time.Millisecond)
+	if lt.Max() != 0 || lt.Count() != 1 {
+		t.Errorf("negative sample mishandled: max=%v count=%d", lt.Max(), lt.Count())
+	}
+}
+
+func TestLatencyTrackerConcurrent(t *testing.T) {
+	var lt LatencyTracker
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 1000; i++ {
+				lt.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if lt.Max() != 1000*time.Microsecond {
+		t.Errorf("max = %v", lt.Max())
+	}
+	if lt.Count() != 8000 {
+		t.Errorf("count = %d", lt.Count())
+	}
+}
+
+func TestWinRatio(t *testing.T) {
+	if got := WinRatio(80*time.Millisecond, 10*time.Millisecond); got != 8 {
+		t.Errorf("win ratio = %g", got)
+	}
+	if got := WinRatio(time.Second, 0); got != 0 {
+		t.Errorf("zero contender ratio = %g", got)
+	}
+}
+
+func TestLFactor(t *testing.T) {
+	scales := []int{2, 3, 5, 7, 8}
+	lat := []time.Duration{1, 2, 4, 5, 9}
+	if got := LFactor(scales, lat, 5); got != 7 {
+		t.Errorf("L-factor = %d, want 7", got)
+	}
+	if got := LFactor(scales, lat, 0); got != 0 {
+		t.Errorf("L-factor under impossible constraint = %d", got)
+	}
+}

@@ -1,0 +1,173 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+	"github.com/caesar-cep/caesar/internal/predicate"
+)
+
+// AggKind enumerates the aggregate functions of the TUMBLE extension
+// (see DESIGN.md): one derived event per non-empty tumbling window.
+type AggKind int
+
+const (
+	// AggLast is a plain (non-aggregate) expression: the value taken
+	// from the last match of the window.
+	AggLast AggKind = iota
+	// AggCount is count(): the number of matches in the window.
+	AggCount
+	// AggSum sums a numeric (or boolean, widened to 0/1) expression.
+	AggSum
+	// AggAvg averages a numeric expression (float result).
+	AggAvg
+	// AggMin takes the minimum.
+	AggMin
+	// AggMax takes the maximum.
+	AggMax
+)
+
+// String returns the surface function name.
+func (k AggKind) String() string {
+	switch k {
+	case AggLast:
+		return "last"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return fmt.Sprintf("AggKind(%d)", int(k))
+	}
+}
+
+// AggKindFromName resolves an aggregate function name.
+func AggKindFromName(name string) (AggKind, bool) {
+	switch name {
+	case "count":
+		return AggCount, true
+	case "sum":
+		return AggSum, true
+	case "avg":
+		return AggAvg, true
+	case "min":
+		return AggMin, true
+	case "max":
+		return AggMax, true
+	default:
+		return 0, false
+	}
+}
+
+// AggSpec is one DERIVE argument of a TUMBLE query. Arg is nil for
+// AggCount.
+type AggSpec struct {
+	Kind AggKind
+	Arg  *predicate.Compiled
+}
+
+// ResultKind returns the statically inferred output kind.
+func (s AggSpec) ResultKind() event.Kind {
+	switch s.Kind {
+	case AggCount:
+		return event.KindInt
+	case AggAvg:
+		return event.KindFloat
+	case AggSum:
+		if s.Arg.Kind() == event.KindBool {
+			return event.KindInt
+		}
+		return s.Arg.Kind()
+	default:
+		return s.Arg.Kind()
+	}
+}
+
+// compileAggs compiles the DERIVE arguments of a TUMBLE query.
+func (m *Model) compileAggs(q *Query, d *lang.QueryDecl, out *event.Schema) error {
+	for i, arg := range d.Derive.Args {
+		spec, err := compileAggArg(arg, q.Env)
+		if err != nil {
+			return err
+		}
+		if spec.Arg != nil && negRefs(spec.Arg, q.Pattern) {
+			return fmt.Errorf("caesar: %s: DERIVE expression must not reference negated variable", d.Pos)
+		}
+		if err := validateAggArgKind(spec, d.Pos); err != nil {
+			return err
+		}
+		want := out.Field(i).Kind
+		got := spec.ResultKind()
+		if want != got && !(want == event.KindFloat && got == event.KindInt) {
+			return fmt.Errorf("caesar: %s: DERIVE %s.%s expects %s, aggregate %s yields %s",
+				d.Pos, out.Name(), out.Field(i).Name, want, spec.Kind, got)
+		}
+		q.Aggs = append(q.Aggs, spec)
+	}
+	return nil
+}
+
+func compileAggArg(arg lang.Expr, env *predicate.Env) (AggSpec, error) {
+	call, ok := arg.(*lang.CallExpr)
+	if !ok {
+		c, err := predicate.Compile(arg, env)
+		if err != nil {
+			return AggSpec{}, err
+		}
+		return AggSpec{Kind: AggLast, Arg: c}, nil
+	}
+	kind, ok := AggKindFromName(call.Fn)
+	if !ok {
+		return AggSpec{}, fmt.Errorf("caesar: %s: unknown aggregate function %q (want count, sum, avg, min or max)", call.Pos, call.Fn)
+	}
+	if kind == AggCount {
+		if call.Arg != nil {
+			return AggSpec{}, fmt.Errorf("caesar: %s: count() takes no argument", call.Pos)
+		}
+		return AggSpec{Kind: AggCount}, nil
+	}
+	if call.Arg == nil {
+		return AggSpec{}, fmt.Errorf("caesar: %s: %s() needs an argument", call.Pos, call.Fn)
+	}
+	c, err := predicate.Compile(call.Arg, env)
+	if err != nil {
+		return AggSpec{}, err
+	}
+	return AggSpec{Kind: kind, Arg: c}, nil
+}
+
+func validateAggArgKind(s AggSpec, pos lang.Pos) error {
+	if s.Arg == nil || s.Kind == AggLast {
+		return nil
+	}
+	k := s.Arg.Kind()
+	ok := k == event.KindInt || k == event.KindFloat ||
+		(k == event.KindBool && s.Kind == AggSum) ||
+		(k == event.KindString && (s.Kind == AggMin || s.Kind == AggMax))
+	if !ok {
+		return fmt.Errorf("caesar: %s: %s over %s values is not supported", pos, s.Kind, k)
+	}
+	return nil
+}
+
+// containsAggCall reports whether an expression tree contains an
+// aggregate function call.
+func containsAggCall(e lang.Expr) bool {
+	switch x := e.(type) {
+	case *lang.CallExpr:
+		return true
+	case *lang.UnaryExpr:
+		return containsAggCall(x.X)
+	case *lang.BinaryExpr:
+		return containsAggCall(x.L) || containsAggCall(x.R)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,125 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+const aggBase = `
+EVENT P(v int, lane string)
+EVENT Q(v int)
+EVENT S(n int, m float)
+CONTEXT c DEFAULT
+`
+
+func TestCompileTumbleQuery(t *testing.T) {
+	m, err := CompileSource(aggBase + `
+DERIVE S(count(), avg(p.v))
+PATTERN P p
+TUMBLE 60
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[0]
+	if q.Tumble != 60 {
+		t.Errorf("tumble = %d", q.Tumble)
+	}
+	if len(q.Aggs) != 2 || q.Aggs[0].Kind != AggCount || q.Aggs[1].Kind != AggAvg {
+		t.Errorf("aggs = %+v", q.Aggs)
+	}
+	if q.Args != nil {
+		t.Error("plain args set on tumble query")
+	}
+}
+
+func TestTumbleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"window query", aggBase + "INITIATE CONTEXT c\nPATTERN P p\nTUMBLE 10", "DERIVE queries only"},
+		{"agg without tumble", aggBase + "DERIVE Q(count())\nPATTERN P p", "require a TUMBLE"},
+		{"unknown fn", aggBase + "DERIVE Q(median(p.v))\nPATTERN P p\nTUMBLE 10", "unknown aggregate"},
+		{"count with arg", aggBase + "DERIVE Q(count(p.v))\nPATTERN P p\nTUMBLE 10", "takes no argument"},
+		{"sum without arg", aggBase + "DERIVE Q(sum())\nPATTERN P p\nTUMBLE 10", "needs an argument"},
+		{"avg of string", aggBase + "DERIVE Q(avg(p.lane))\nPATTERN P p\nTUMBLE 10", "not supported"},
+		{"sum of string", aggBase + "DERIVE Q(sum(p.lane))\nPATTERN P p\nTUMBLE 10", "not supported"},
+		{"kind mismatch", aggBase + "DERIVE Q(avg(p.v))\nPATTERN P p\nTUMBLE 10", "expects int"},
+		{"trailing negation", aggBase + "DERIVE Q(count())\nPATTERN SEQ(P p, NOT Q x)\nWHERE x.v = p.v\nWITHIN 10\nTUMBLE 10", "trailing negation"},
+		{"nested call", aggBase + "DERIVE Q(sum(count()))\nPATTERN P p\nTUMBLE 10", "aggregate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileSource(tc.src)
+			if err == nil {
+				t.Fatalf("compile accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestAggCallInWhereRejected(t *testing.T) {
+	_, err := CompileSource(aggBase + "DERIVE Q(p.v)\nPATTERN P p\nWHERE count() > 2")
+	if err == nil || !strings.Contains(err.Error(), "TUMBLE") {
+		t.Errorf("aggregate in WHERE accepted: %v", err)
+	}
+}
+
+func TestMinMaxOverStringsAllowed(t *testing.T) {
+	src := `
+EVENT P(lane string)
+EVENT Q(first string)
+CONTEXT c DEFAULT
+DERIVE Q(min(p.lane))
+PATTERN P p
+TUMBLE 10
+`
+	m, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Queries[0].Aggs[0].ResultKind(); got != event.KindString {
+		t.Errorf("min(string) kind = %v", got)
+	}
+}
+
+func TestAggKindNames(t *testing.T) {
+	for _, name := range []string{"count", "sum", "avg", "min", "max"} {
+		k, ok := AggKindFromName(name)
+		if !ok || k.String() != name {
+			t.Errorf("AggKindFromName(%q) = %v, %v", name, k, ok)
+		}
+	}
+	if _, ok := AggKindFromName("median"); ok {
+		t.Error("unknown aggregate resolved")
+	}
+	if AggLast.String() != "last" {
+		t.Error("AggLast name")
+	}
+	if !strings.Contains(AggKind(99).String(), "99") {
+		t.Error("unknown kind string")
+	}
+}
+
+func TestSumBoolYieldsInt(t *testing.T) {
+	src := `
+EVENT P(speed int)
+EVENT S(stopped int)
+CONTEXT c DEFAULT
+DERIVE S(sum(p.speed = 0))
+PATTERN P p
+TUMBLE 10
+`
+	m, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Queries[0].Aggs[0].ResultKind(); got != event.KindInt {
+		t.Errorf("sum(bool) kind = %v", got)
+	}
+}

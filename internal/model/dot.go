@@ -1,0 +1,78 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+// DOT renders the model's context transition network (paper Fig. 1)
+// in Graphviz format: one node per context (double circle for the
+// default), one edge per context deriving query, and a workload label
+// listing each context's processing queries. The paper's visual
+// editor is future work; this gives its read-only half.
+func (m *Model) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph caesar {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse];\n")
+	for _, c := range m.Contexts {
+		shape := ""
+		if c == m.Default {
+			shape = ", peripheries=2"
+		}
+		label := c.Name
+		if n := len(c.Processing); n > 0 {
+			names := make([]string, 0, n)
+			for _, q := range c.Processing {
+				names = append(names, deriveLabel(q))
+			}
+			sort.Strings(names)
+			label += "\\n[" + strings.Join(names, ", ") + "]"
+		}
+		// Labels carry literal \n escapes for Graphviz, so quote by
+		// hand rather than with %q (which would escape the backslash).
+		fmt.Fprintf(&b, "  %q [label=\"%s\"%s];\n", c.Name, label, shape)
+	}
+	for _, q := range m.Queries {
+		if !q.IsWindowQuery() {
+			continue
+		}
+		label := edgeLabel(q)
+		switch q.Action {
+		case lang.ActionInitiate:
+			for _, src := range q.Contexts {
+				fmt.Fprintf(&b, "  %q -> %q [label=%q, style=dashed];\n",
+					src.Name, q.Target.Name, "initiate "+label)
+			}
+		case lang.ActionSwitch:
+			for _, src := range q.Contexts {
+				fmt.Fprintf(&b, "  %q -> %q [label=%q];\n",
+					src.Name, q.Target.Name, "switch "+label)
+			}
+		case lang.ActionTerminate:
+			fmt.Fprintf(&b, "  %q -> %q [label=%q, style=dotted];\n",
+				q.Target.Name, m.Default.Name, "terminate "+label)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func deriveLabel(q *Query) string {
+	if q.Out != nil {
+		return q.Out.Name()
+	}
+	return q.Name
+}
+
+func edgeLabel(q *Query) string {
+	if q.Decl != nil && q.Decl.Where != nil {
+		return "if " + q.Decl.Where.String()
+	}
+	if q.Decl != nil && q.Decl.Pattern != nil {
+		return "on " + q.Decl.Pattern.String()
+	}
+	return q.Name
+}

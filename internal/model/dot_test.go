@@ -1,0 +1,45 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOT(t *testing.T) {
+	m := compileTraffic(t)
+	dot := m.DOT()
+	for _, want := range []string{
+		"digraph caesar",
+		`"clear"`, `"congestion"`, `"accident"`,
+		"peripheries=2",           // default context
+		`"clear" -> "congestion"`, // switch
+		"style=dashed",            // initiate
+		"style=dotted",            // terminate
+		"TollNotification",        // workload label
+		"switch",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	if !strings.HasSuffix(dot, "}\n") {
+		t.Error("DOT not terminated")
+	}
+}
+
+func TestDOTMinimalModel(t *testing.T) {
+	m, err := CompileSource(`
+EVENT A(x int)
+EVENT B(x int)
+CONTEXT only DEFAULT
+DERIVE B(a.x)
+PATTERN A a
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := m.DOT()
+	if !strings.Contains(dot, `"only"`) || !strings.Contains(dot, "B") {
+		t.Errorf("minimal DOT:\n%s", dot)
+	}
+}

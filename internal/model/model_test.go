@@ -1,0 +1,313 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+const trafficSrc = `
+EVENT PositionReport(vid int, xway int, lane int, dir int, seg int, pos int, sec int)
+EVENT NewTravelingCar(vid int, xway int, dir int, seg int, lane int, pos int, sec int)
+EVENT TollNotification(vid int, sec int, toll int)
+EVENT SegStat(seg int, cnt int, avgSpeed float, stopped int, sec int)
+
+CONTEXT clear DEFAULT
+CONTEXT congestion
+CONTEXT accident
+
+SWITCH CONTEXT congestion
+PATTERN SegStat s
+WHERE s.cnt > 50 AND s.avgSpeed < 40
+CONTEXT clear
+
+SWITCH CONTEXT clear
+PATTERN SegStat s
+WHERE s.cnt <= 50
+CONTEXT congestion
+
+INITIATE CONTEXT accident
+PATTERN SegStat s
+WHERE s.stopped >= 2
+CONTEXT clear, congestion
+
+TERMINATE CONTEXT accident
+PATTERN SegStat s
+WHERE s.stopped = 0
+CONTEXT accident
+
+DERIVE NewTravelingCar(p2.vid, p2.xway, p2.dir, p2.seg, p2.lane, p2.pos, p2.sec)
+PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+CONTEXT congestion
+
+DERIVE TollNotification(p.vid, p.sec, 5)
+PATTERN NewTravelingCar p
+CONTEXT congestion
+`
+
+func compileTraffic(t *testing.T) *Model {
+	t.Helper()
+	m, err := CompileSource(trafficSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestCompileTrafficModel(t *testing.T) {
+	m := compileTraffic(t)
+	if len(m.Contexts) != 3 {
+		t.Fatalf("contexts = %d", len(m.Contexts))
+	}
+	// Alphabetical index order: accident=0, clear=1, congestion=2.
+	for i, want := range []string{"accident", "clear", "congestion"} {
+		if m.Contexts[i].Name != want || m.Contexts[i].Index != i {
+			t.Errorf("context %d = %s/%d, want %s", i, m.Contexts[i].Name, m.Contexts[i].Index, want)
+		}
+	}
+	if m.Default == nil || m.Default.Name != "clear" {
+		t.Fatalf("default = %v", m.Default)
+	}
+	clear, _ := m.ContextByName("clear")
+	if clear.Mask() != 1<<1 {
+		t.Errorf("clear mask = %b", clear.Mask())
+	}
+	if len(m.Queries) != 6 {
+		t.Fatalf("queries = %d", len(m.Queries))
+	}
+
+	// Workload indexing: congestion has 2 deriving (switch-to-clear
+	// runs in congestion; initiate-accident runs in clear+congestion)
+	// and 2 processing queries.
+	cong, _ := m.ContextByName("congestion")
+	if len(cong.Deriving) != 2 {
+		t.Errorf("congestion deriving = %d", len(cong.Deriving))
+	}
+	if len(cong.Processing) != 2 {
+		t.Errorf("congestion processing = %d", len(cong.Processing))
+	}
+	acc, _ := m.ContextByName("accident")
+	if len(acc.Deriving) != 1 || len(acc.Processing) != 0 {
+		t.Errorf("accident workload = %d/%d", len(acc.Deriving), len(acc.Processing))
+	}
+
+	// Derivation index.
+	if !m.IsDerivedType("NewTravelingCar") || m.IsDerivedType("PositionReport") {
+		t.Error("IsDerivedType misreports")
+	}
+	if qs := m.DerivedBy("TollNotification"); len(qs) != 1 || qs[0].Out.Name() != "TollNotification" {
+		t.Errorf("DerivedBy = %v", qs)
+	}
+}
+
+func TestCompiledQueryShape(t *testing.T) {
+	m := compileTraffic(t)
+	// Query 4: SEQ(NOT PositionReport p1, PositionReport p2).
+	q := m.Queries[4]
+	if q.IsWindowQuery() {
+		t.Fatal("derive query misclassified")
+	}
+	if len(q.Pattern.Steps) != 1 || q.Pattern.Steps[0].Var != "p2" {
+		t.Fatalf("steps = %+v", q.Pattern.Steps)
+	}
+	if len(q.Pattern.Negs) != 1 {
+		t.Fatalf("negs = %+v", q.Pattern.Negs)
+	}
+	neg := q.Pattern.Negs[0]
+	if neg.Anchor != 0 || neg.Var != "p1" {
+		t.Errorf("neg = %+v", neg)
+	}
+	// WHERE split: p1.sec+30=p2.sec and p1.vid=p2.vid reference the
+	// negated var p1 -> negation conditions; p2.lane != 4 -> filter.
+	if len(neg.Conds) != 2 {
+		t.Errorf("neg conds = %d", len(neg.Conds))
+	}
+	if len(q.Filters) != 1 {
+		t.Errorf("filters = %d", len(q.Filters))
+	}
+	if got := q.ConsumedTypes(); len(got) != 1 || got[0].Name() != "PositionReport" {
+		t.Errorf("consumed = %v", got)
+	}
+	if q.Produces().Name() != "NewTravelingCar" {
+		t.Errorf("produces = %v", q.Produces())
+	}
+
+	// Window query: switch carries target context and mask.
+	sw := m.Queries[0]
+	if !sw.IsWindowQuery() || sw.Target.Name != "congestion" || sw.Produces() != nil {
+		t.Errorf("switch query = %+v", sw)
+	}
+	clear, _ := m.ContextByName("clear")
+	if sw.Mask != clear.Mask() {
+		t.Errorf("switch mask = %b", sw.Mask)
+	}
+
+	init := m.Queries[2]
+	cong, _ := m.ContextByName("congestion")
+	if init.Mask != clear.Mask()|cong.Mask() {
+		t.Errorf("initiate mask = %b", init.Mask)
+	}
+	if init.Name == "" || !strings.Contains(init.Name, "INITIATE") {
+		t.Errorf("query name = %q", init.Name)
+	}
+}
+
+func TestImpliedDefaultContext(t *testing.T) {
+	src := `
+EVENT A(x int)
+EVENT B(x int)
+CONTEXT base DEFAULT
+DERIVE B(a.x)
+PATTERN A a
+`
+	m, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[0]
+	if len(q.Contexts) != 1 || q.Contexts[0].Name != "base" {
+		t.Errorf("implied context = %v", q.Contexts)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	base := "EVENT A(x int)\nEVENT B(x int)\nCONTEXT c DEFAULT\nCONTEXT d\n"
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no contexts", "EVENT A(x int)\nDERIVE A(1)\nPATTERN A a", "at least one context"},
+		{"no default", "EVENT A(x int)\nCONTEXT c\nDERIVE A(1)\nPATTERN A a", "DEFAULT"},
+		{"two defaults", "CONTEXT c DEFAULT\nCONTEXT d DEFAULT\n", "multiple default"},
+		{"dup context", "CONTEXT c DEFAULT\nCONTEXT c\n", "duplicate context"},
+		{"bad attr type", "EVENT A(x int64)\nCONTEXT c DEFAULT\n", "unknown attribute type"},
+		{"dup event", "EVENT A(x int)\nEVENT A(y int)\nCONTEXT c DEFAULT\n", "duplicate event type"},
+		{"underived type", base + "DERIVE Z(a.x)\nPATTERN A a", "undeclared event type"},
+		{"bad arity", base + "DERIVE B(a.x, 2)\nPATTERN A a", "expects 1 attributes"},
+		{"bad arg kind", base + "DERIVE B('s')\nPATTERN A a", "expects int"},
+		{"unknown pattern type", base + "DERIVE B(1)\nPATTERN Zzz z", "undeclared event type"},
+		{"unknown query context", base + "DERIVE B(a.x)\nPATTERN A a\nCONTEXT nope", "undeclared context"},
+		{"dup query context", base + "DERIVE B(a.x)\nPATTERN A a\nCONTEXT c, c", "duplicate context"},
+		{"unknown target", base + "INITIATE CONTEXT nope\nPATTERN A a", "undeclared context"},
+		{"switch into own context", base + "SWITCH CONTEXT d\nPATTERN A a\nCONTEXT c, d", "own target"},
+		{"all negated", base + "DERIVE B(1)\nPATTERN SEQ(NOT A a, NOT A b)", "at least one non-negated"},
+		{"dup var", base + "DERIVE B(a.x)\nPATTERN SEQ(A a, A a)", "duplicate pattern variable"},
+		{"derive reads negation", base + "DERIVE B(n.x)\nPATTERN SEQ(NOT A n, A a)\nWHERE n.x = a.x", "negated variable"},
+		{"two negs one conjunct", base + "DERIVE B(a.x)\nPATTERN SEQ(NOT A n1, A a, NOT A n2)\nWHERE n1.x = n2.x", "two negated variables"},
+		{"where type error", base + "DERIVE B(a.x)\nPATTERN A a\nWHERE a.x + 1", "boolean"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := CompileSource(tc.src)
+			if err == nil {
+				t.Fatalf("compile accepted:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q missing %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestCrossContextDependencyRejected(t *testing.T) {
+	src := `
+EVENT A(x int)
+EVENT B(x int)
+EVENT C(x int)
+CONTEXT c1 DEFAULT
+CONTEXT c2
+
+DERIVE B(a.x)
+PATTERN A a
+CONTEXT c1
+
+DERIVE C(b.x)
+PATTERN B b
+CONTEXT c2
+`
+	_, err := CompileSource(src)
+	if err == nil || !strings.Contains(err.Error(), "different contexts") {
+		t.Errorf("cross-context dependency accepted: %v", err)
+	}
+}
+
+func TestCyclicDerivationRejected(t *testing.T) {
+	src := `
+EVENT A(x int)
+EVENT B(x int)
+CONTEXT c DEFAULT
+
+DERIVE B(a.x)
+PATTERN A a
+
+DERIVE A(b.x)
+PATTERN B b
+`
+	_, err := CompileSource(src)
+	if err == nil || !strings.Contains(err.Error(), "cyclic") {
+		t.Errorf("cycle accepted: %v", err)
+	}
+}
+
+func TestTooManyContexts(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("EVENT A(x int)\n")
+	b.WriteString("CONTEXT c0 DEFAULT\n")
+	for i := 1; i <= MaxContexts; i++ {
+		b.WriteString("CONTEXT c")
+		for _, d := range []byte(itoa(i)) {
+			b.WriteByte(d)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := CompileSource(b.String())
+	if err == nil || !strings.Contains(err.Error(), "at most") {
+		t.Errorf("context overflow accepted: %v", err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestSyntheticVarNames(t *testing.T) {
+	src := `
+EVENT A(x int)
+EVENT B(x int)
+EVENT D(x int)
+CONTEXT c DEFAULT
+DERIVE B(a.x)
+PATTERN SEQ(A a, NOT D)
+WITHIN 60
+`
+	m, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := m.Queries[0]
+	if q.Within != 60 {
+		t.Errorf("within = %d", q.Within)
+	}
+	if len(q.Pattern.Negs) != 1 || q.Pattern.Negs[0].Var == "" {
+		t.Errorf("negation var not synthesized: %+v", q.Pattern.Negs)
+	}
+	if q.Pattern.Negs[0].Anchor != 1 {
+		t.Errorf("trailing negation anchor = %d, want 1", q.Pattern.Negs[0].Anchor)
+	}
+}
+
+func TestActionAliases(t *testing.T) {
+	// lang.Action values used by the model must match expectations.
+	if lang.ActionDerive == lang.ActionInitiate {
+		t.Fatal("action constants collide")
+	}
+}

@@ -1,0 +1,93 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// Fusion is a set of DERIVE queries whose pattern, filters, horizon
+// and context mask coincide: the pattern needs to be evaluated once
+// and each member only contributes its projection head. This is the
+// multi-query optimization the paper applies within grouped context
+// windows (§5.3): "this opens opportunities to share the similar
+// workload within a context which further saves computational
+// costs".
+type Fusion struct {
+	// Leader is the representative query (its pattern is the one
+	// evaluated); Members lists every fused query including the
+	// leader, in input order.
+	Leader  *model.Query
+	Members []*model.Query
+	// Mask is the shared context mask.
+	Mask uint64
+}
+
+// PatternKey renders a query's matching identity: everything that
+// determines the match set — pattern shape, filter predicates,
+// horizon — but not the derivation head. Two DERIVE queries with
+// equal keys and equal context masks construct identical match sets.
+func PatternKey(q *model.Query) string {
+	var b strings.Builder
+	if q.Decl != nil && q.Decl.Pattern != nil {
+		b.WriteString(q.Decl.Pattern.String())
+	}
+	b.WriteByte('|')
+	if q.Decl != nil && q.Decl.Where != nil {
+		b.WriteString(q.Decl.Where.String())
+	}
+	fmt.Fprintf(&b, "|%d|%d", q.Within, q.Tumble)
+	return b.String()
+}
+
+// FusePatterns partitions the shared workload into fusions. Only
+// plain DERIVE queries fuse (window queries and TUMBLE aggregations
+// keep their own instances — their state is not match-set-shaped);
+// queries that fuse with nobody come back as singleton fusions, so
+// the result covers the entire input.
+func FusePatterns(shared []SharedQuery) []Fusion {
+	index := map[string]int{}
+	var out []Fusion
+	for _, sq := range shared {
+		q := sq.Query
+		fusable := !q.IsWindowQuery() && q.Tumble == 0
+		key := ""
+		if fusable {
+			key = fmt.Sprintf("%s|%x", PatternKey(q), sq.Mask)
+			if i, ok := index[key]; ok {
+				out[i].Members = append(out[i].Members, q)
+				continue
+			}
+		}
+		f := Fusion{Leader: q, Members: []*model.Query{q}, Mask: sq.Mask}
+		if fusable {
+			index[key] = len(out)
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// FusionStats summarizes how much pattern evaluation the fusion pass
+// removed.
+type FusionStats struct {
+	// Queries is the input workload size, Patterns the number of
+	// pattern instances after fusion.
+	Queries  int
+	Patterns int
+	// Largest is the biggest fusion group.
+	Largest int
+}
+
+// StatsOf computes fusion statistics.
+func StatsOf(fs []Fusion) FusionStats {
+	st := FusionStats{Patterns: len(fs)}
+	for _, f := range fs {
+		st.Queries += len(f.Members)
+		if len(f.Members) > st.Largest {
+			st.Largest = len(f.Members)
+		}
+	}
+	return st
+}

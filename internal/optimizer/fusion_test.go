@@ -1,0 +1,122 @@
+package optimizer
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+const fusionModel = `
+EVENT P(v int, k int)
+EVENT A(v int, fee int)
+EVENT B(v int)
+EVENT S(cnt int)
+
+CONTEXT idle DEFAULT
+CONTEXT busy
+
+INITIATE CONTEXT busy
+PATTERN P p
+WHERE p.v > 100
+CONTEXT idle
+
+# Three queries over the identical pattern+filter, differing only in
+# their derivation heads: fusable.
+DERIVE A(p.v, 1)
+PATTERN P p
+WHERE p.k = 1
+CONTEXT busy
+
+DERIVE A(p.v, 2)
+PATTERN P p
+WHERE p.k = 1
+CONTEXT busy
+
+DERIVE B(p.v)
+PATTERN P p
+WHERE p.k = 1
+CONTEXT busy
+
+# Different filter: not fusable with the above.
+DERIVE B(p.v)
+PATTERN P p
+WHERE p.k = 2
+CONTEXT busy
+
+# Different context: not fusable.
+DERIVE B(p.v)
+PATTERN P p
+WHERE p.k = 1
+CONTEXT idle
+
+# TUMBLE queries keep their own instances.
+DERIVE S(count())
+PATTERN P p
+WHERE p.k = 1
+TUMBLE 10
+CONTEXT busy
+`
+
+func TestFusePatterns(t *testing.T) {
+	m, err := model.CompileSource(fusionModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := FusePatterns(NonShared(m.Queries))
+	// 7 queries -> 5 units: {A1,A2,B1} fused; window query, k=2 B,
+	// idle B and the TUMBLE query stay singletons.
+	if len(fs) != 5 {
+		t.Fatalf("fusions = %d: %+v", len(fs), fs)
+	}
+	var big *Fusion
+	for i := range fs {
+		if len(fs[i].Members) > 1 {
+			if big != nil {
+				t.Fatal("more than one fusion group")
+			}
+			big = &fs[i]
+		}
+	}
+	if big == nil || len(big.Members) != 3 {
+		t.Fatalf("fused group = %+v", big)
+	}
+	if big.Leader != big.Members[0] {
+		t.Error("leader must be first member")
+	}
+	st := StatsOf(fs)
+	if st.Queries != 7 || st.Patterns != 5 || st.Largest != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFusePatternsRespectsMask(t *testing.T) {
+	m, err := model.CompileSource(fusionModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After sharing, queries keep distinct masks where contexts
+	// differ; fusion must not merge across masks.
+	fs := FusePatterns(ShareWorkload(m.Queries))
+	for _, f := range fs {
+		for _, mq := range f.Members {
+			if mq.Mask&f.Mask == 0 {
+				t.Errorf("member %s outside fusion mask", mq.Name)
+			}
+		}
+	}
+}
+
+func TestPatternKeyIgnoresDeriveHead(t *testing.T) {
+	m, err := model.CompileSource(fusionModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Queries 1 and 2 (A with fee 1 and 2) share a key; query 4
+	// (different WHERE) does not.
+	if PatternKey(m.Queries[1]) != PatternKey(m.Queries[2]) {
+		t.Error("identical patterns have different keys")
+	}
+	if PatternKey(m.Queries[1]) == PatternKey(m.Queries[4]) {
+		t.Error("different filters share a key")
+	}
+}

@@ -1,0 +1,291 @@
+// Package optimizer implements the CAESAR optimization strategies
+// (paper §5): the context window push-down decision (§5.2, realized
+// structurally by plan.Options), the context window grouping
+// algorithm of Listing 1 (§5.3), workload sharing across overlapping
+// context windows, and the query plan search comparison — exhaustive
+// (context-independent) versus greedy (context-aware) — evaluated in
+// Fig. 11(a).
+package optimizer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/lang"
+	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/predicate"
+)
+
+// Window is a user-defined context window as seen by the grouping
+// algorithm: its bounds are positions on the monotone axis shared by
+// the context deriving queries' threshold predicates (paper Fig. 7:
+// "initiate c1 if X > 10"). The absolute times are unknown at compile
+// time; only the bound order matters, which the positions encode.
+type Window struct {
+	Name    string
+	Start   float64
+	End     float64
+	Queries []*model.Query
+}
+
+// Grouped is one non-overlapping context window produced by the
+// grouping algorithm, with the merged, de-duplicated query workload
+// appropriate during its span and the names of the original windows
+// it was carved from.
+type Grouped struct {
+	Start   float64
+	End     float64
+	Queries []*model.Query
+	Sources []string
+}
+
+// DerivedBound is a context deriving query synthesized for a grouped
+// window (paper Fig. 7 bottom: the new context deriving queries
+// "initiate c11 if X > 10, terminate c11 if X >= 20").
+type DerivedBound struct {
+	Group     int
+	Initiate  float64
+	Terminate float64
+}
+
+// GroupWindows implements the context window grouping algorithm of
+// paper Listing 1. Windows that overlap no other window are returned
+// unchanged; identical windows are merged; overlapping windows are
+// split at every bound and regrouped into non-overlapping windows
+// whose workload is the union of the covering originals, with
+// duplicate queries dropped.
+func GroupWindows(ws []Window) ([]Grouped, error) {
+	for _, w := range ws {
+		if w.End <= w.Start {
+			return nil, fmt.Errorf("optimizer: window %q has non-positive span [%g,%g)", w.Name, w.Start, w.End)
+		}
+	}
+	// Line 4: extract windows that overlap nothing.
+	overlapping, alone := partitionByOverlap(ws)
+	var out []Grouped
+	for _, w := range alone {
+		out = append(out, Grouped{
+			Start:   w.Start,
+			End:     w.End,
+			Queries: dropDuplicateQueries(w.Queries),
+			Sources: []string{w.Name},
+		})
+	}
+
+	// Line 5: sort the overlapping windows by start bound.
+	sort.SliceStable(overlapping, func(i, j int) bool {
+		if overlapping[i].Start != overlapping[j].Start {
+			return overlapping[i].Start < overlapping[j].Start
+		}
+		return overlapping[i].End < overlapping[j].End
+	})
+	// Line 6: merge identical windows, keeping one with the union of
+	// their workloads.
+	overlapping = mergeIdentical(overlapping)
+
+	// Lines 8-19: sweep the window bounds; each interval between two
+	// subsequent bounds becomes a grouped window carrying the queries
+	// of every original window covering it.
+	type boundEvent struct {
+		pos    float64
+		starts []int
+		ends   []int
+	}
+	bounds := map[float64]*boundEvent{}
+	at := func(p float64) *boundEvent {
+		be, ok := bounds[p]
+		if !ok {
+			be = &boundEvent{pos: p}
+			bounds[p] = be
+		}
+		return be
+	}
+	for i, w := range overlapping {
+		at(w.Start).starts = append(at(w.Start).starts, i)
+		at(w.End).ends = append(at(w.End).ends, i)
+	}
+	order := make([]*boundEvent, 0, len(bounds))
+	for _, be := range bounds {
+		order = append(order, be)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].pos < order[j].pos })
+
+	active := map[int]bool{}
+	var previous float64
+	for _, be := range order {
+		if len(active) > 0 && be.pos > previous {
+			g := Grouped{Start: previous, End: be.pos}
+			ids := make([]int, 0, len(active))
+			for id := range active {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				g.Queries = append(g.Queries, overlapping[id].Queries...)
+				g.Sources = append(g.Sources, overlapping[id].Name)
+			}
+			// Lines 20-22: drop duplicate event queries.
+			g.Queries = dropDuplicateQueries(g.Queries)
+			out = append(out, g)
+		}
+		for _, id := range be.ends {
+			delete(active, id)
+		}
+		for _, id := range be.starts {
+			active[id] = true
+		}
+		previous = be.pos
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, nil
+}
+
+func partitionByOverlap(ws []Window) (overlapping, alone []Window) {
+	for i, w := range ws {
+		has := false
+		for j, o := range ws {
+			if i == j {
+				continue
+			}
+			if w.Start < o.End && o.Start < w.End {
+				has = true
+				break
+			}
+		}
+		if has {
+			overlapping = append(overlapping, w)
+		} else {
+			alone = append(alone, w)
+		}
+	}
+	return overlapping, alone
+}
+
+func mergeIdentical(ws []Window) []Window {
+	var out []Window
+	for _, w := range ws {
+		merged := false
+		for i := range out {
+			if out[i].Start == w.Start && out[i].End == w.End {
+				out[i].Queries = append(out[i].Queries, w.Queries...)
+				out[i].Name = out[i].Name + "+" + w.Name
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			out = append(out, Window{Name: w.Name, Start: w.Start, End: w.End,
+				Queries: append([]*model.Query(nil), w.Queries...)})
+		}
+	}
+	return out
+}
+
+// dropDuplicateQueries keeps the first of each equivalent query
+// (lines 20-22 of Listing 1). Two queries are equivalent when their
+// canonical forms — action, derivation head, pattern, predicates and
+// horizon, everything except the context association — coincide.
+func dropDuplicateQueries(qs []*model.Query) []*model.Query {
+	seen := map[string]bool{}
+	var out []*model.Query
+	for _, q := range qs {
+		k := CanonicalKey(q)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// CanonicalKey renders a query's context-independent identity: two
+// queries with the same key compute the same results on the same
+// input and can share one execution instance.
+func CanonicalKey(q *model.Query) string {
+	var b strings.Builder
+	b.WriteString(q.Action.String())
+	b.WriteByte('|')
+	if q.Target != nil {
+		b.WriteString(q.Target.Name)
+	}
+	b.WriteByte('|')
+	if q.Decl != nil && q.Decl.Derive != nil {
+		b.WriteString(q.Decl.Derive.String())
+	}
+	b.WriteByte('|')
+	if q.Decl != nil && q.Decl.Pattern != nil {
+		b.WriteString(q.Decl.Pattern.String())
+	}
+	b.WriteByte('|')
+	if q.Decl != nil && q.Decl.Where != nil {
+		b.WriteString(q.Decl.Where.String())
+	}
+	fmt.Fprintf(&b, "|%d", q.Within)
+	return b.String()
+}
+
+// DeriveBounds synthesizes the adjusted context deriving thresholds
+// for each grouped window (paper Fig. 7, "new context deriving
+// queries").
+func DeriveBounds(gs []Grouped) []DerivedBound {
+	out := make([]DerivedBound, len(gs))
+	for i, g := range gs {
+		out[i] = DerivedBound{Group: i, Initiate: g.Start, Terminate: g.End}
+	}
+	return out
+}
+
+// WindowsFromModel extracts groupable windows from a compiled model:
+// a context contributes a window when it has an INITIATE (or SWITCH)
+// query and a TERMINATE (or SWITCH away) query whose WHERE clauses
+// are threshold predicates over one shared monotone attribute. The
+// returned windows carry the context's processing workload. Contexts
+// without such derivable bounds are reported in skipped.
+func WindowsFromModel(m *model.Model) (ws []Window, skipped []string) {
+	for _, c := range m.Contexts {
+		if c == m.Default {
+			continue
+		}
+		start, okS := boundFor(m, c, true)
+		end, okE := boundFor(m, c, false)
+		if !okS || !okE || end <= start {
+			skipped = append(skipped, c.Name)
+			continue
+		}
+		ws = append(ws, Window{
+			Name:    c.Name,
+			Start:   start,
+			End:     end,
+			Queries: append([]*model.Query(nil), c.Processing...),
+		})
+	}
+	return ws, skipped
+}
+
+// boundFor finds the threshold position of the query that initiates
+// (start=true) or terminates (start=false) context c.
+func boundFor(m *model.Model, c *model.Context, start bool) (float64, bool) {
+	for _, q := range m.Queries {
+		if !q.IsWindowQuery() {
+			continue
+		}
+		isStart := (q.Action == lang.ActionInitiate || q.Action == lang.ActionSwitch) && q.Target == c
+		isEnd := q.Action == lang.ActionTerminate && q.Target == c
+		if start && !isStart || !start && !isEnd {
+			continue
+		}
+		if q.Decl == nil || q.Decl.Where == nil {
+			continue
+		}
+		for _, conj := range predicate.Conjuncts(q.Decl.Where) {
+			if th, ok := predicate.ExtractThreshold(conj); ok {
+				if th.Op == lang.OpGt || th.Op == lang.OpGeq {
+					return th.Value, true
+				}
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,362 @@
+package optimizer
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// groupingModel reproduces paper Fig. 7: two overlapping context
+// windows, c1 = (X>10, X<30) with {Q1, Q3}, c2 = (X>20, X<40) with
+// {Q1, Q2}. Q1 is the query shared by both contexts.
+const groupingModel = `
+EVENT S(x int, v int)
+EVENT R1(v int)
+EVENT R2(v int)
+EVENT R3(v int)
+
+CONTEXT idle DEFAULT
+CONTEXT c1
+CONTEXT c2
+
+INITIATE CONTEXT c1
+PATTERN S s
+WHERE s.x > 10
+CONTEXT idle, c1, c2
+
+TERMINATE CONTEXT c1
+PATTERN S s
+WHERE s.x >= 30
+CONTEXT c1
+
+INITIATE CONTEXT c2
+PATTERN S s
+WHERE s.x > 20
+CONTEXT idle, c1, c2
+
+TERMINATE CONTEXT c2
+PATTERN S s
+WHERE s.x >= 40
+CONTEXT c2
+
+DERIVE R1(s.v)
+PATTERN S s
+WHERE s.v > 0
+CONTEXT c1
+
+DERIVE R3(s.v)
+PATTERN S s
+WHERE s.v > 3
+CONTEXT c1
+
+DERIVE R1(s.v)
+PATTERN S s
+WHERE s.v > 0
+CONTEXT c2
+
+DERIVE R2(s.v)
+PATTERN S s
+WHERE s.v > 2
+CONTEXT c2
+`
+
+func fig7Windows(t *testing.T) ([]Window, *model.Model) {
+	t.Helper()
+	m, err := model.CompileSource(groupingModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, skipped := WindowsFromModel(m)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped contexts: %v", skipped)
+	}
+	return ws, m
+}
+
+func TestWindowsFromModel(t *testing.T) {
+	ws, _ := fig7Windows(t)
+	if len(ws) != 2 {
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	byName := map[string]Window{}
+	for _, w := range ws {
+		byName[w.Name] = w
+	}
+	c1 := byName["c1"]
+	if c1.Start != 10 || c1.End != 30 || len(c1.Queries) != 2 {
+		t.Errorf("c1 = %+v", c1)
+	}
+	c2 := byName["c2"]
+	if c2.Start != 20 || c2.End != 40 || len(c2.Queries) != 2 {
+		t.Errorf("c2 = %+v", c2)
+	}
+}
+
+func TestGroupWindowsFig7(t *testing.T) {
+	ws, _ := fig7Windows(t)
+	gs, err := GroupWindows(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 7: three grouped windows — w_c11 [10,20) with
+	// {Q1,Q3}, w [20,30) with {Q1,Q2,Q3}, w_c22 [30,40) with {Q1,Q2}.
+	if len(gs) != 3 {
+		t.Fatalf("groups = %d, want 3: %+v", len(gs), gs)
+	}
+	spans := [][2]float64{{10, 20}, {20, 30}, {30, 40}}
+	sizes := []int{2, 3, 2}
+	for i, g := range gs {
+		if g.Start != spans[i][0] || g.End != spans[i][1] {
+			t.Errorf("group %d span = [%g,%g), want %v", i, g.Start, g.End, spans[i])
+		}
+		if len(g.Queries) != sizes[i] {
+			t.Errorf("group %d workload = %d queries, want %d", i, len(g.Queries), sizes[i])
+		}
+	}
+	// The middle group carries Q1 once (deduplicated), not twice.
+	mid := gs[1]
+	keys := map[string]int{}
+	for _, q := range mid.Queries {
+		keys[CanonicalKey(q)]++
+	}
+	for k, n := range keys {
+		if n != 1 {
+			t.Errorf("duplicate query in group: %s x%d", k, n)
+		}
+	}
+	// Derived bounds match the new context deriving queries of Fig. 7.
+	db := DeriveBounds(gs)
+	if db[0].Initiate != 10 || db[0].Terminate != 20 || db[2].Initiate != 30 || db[2].Terminate != 40 {
+		t.Errorf("derived bounds = %+v", db)
+	}
+}
+
+func TestGroupWindowsNonOverlappingUnchanged(t *testing.T) {
+	_, m := fig7Windows(t)
+	q := m.Queries[4]
+	ws := []Window{
+		{Name: "a", Start: 0, End: 10, Queries: []*model.Query{q}},
+		{Name: "b", Start: 20, End: 30, Queries: []*model.Query{q}},
+	}
+	gs, err := GroupWindows(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("groups = %+v", gs)
+	}
+	for i, g := range gs {
+		if len(g.Sources) != 1 || g.Start != ws[i].Start || g.End != ws[i].End {
+			t.Errorf("non-overlapping window changed: %+v", g)
+		}
+	}
+}
+
+func TestGroupWindowsIdenticalMerged(t *testing.T) {
+	_, m := fig7Windows(t)
+	q1, q2 := m.Queries[4], m.Queries[7]
+	ws := []Window{
+		{Name: "a", Start: 0, End: 10, Queries: []*model.Query{q1}},
+		{Name: "b", Start: 0, End: 10, Queries: []*model.Query{q2}},
+	}
+	gs, err := GroupWindows(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 {
+		t.Fatalf("identical windows not merged: %+v", gs)
+	}
+	if len(gs[0].Queries) != 2 {
+		t.Errorf("merged workload = %d", len(gs[0].Queries))
+	}
+}
+
+func TestGroupWindowsRejectsEmptySpan(t *testing.T) {
+	if _, err := GroupWindows([]Window{{Name: "bad", Start: 5, End: 5}}); err == nil {
+		t.Error("empty span accepted")
+	}
+}
+
+func TestGroupWindowsContainment(t *testing.T) {
+	_, m := fig7Windows(t)
+	q1, q2 := m.Queries[4], m.Queries[7]
+	// b contained in a: a=[0,100) {q1}, b=[40,60) {q2}.
+	ws := []Window{
+		{Name: "a", Start: 0, End: 100, Queries: []*model.Query{q1}},
+		{Name: "b", Start: 40, End: 60, Queries: []*model.Query{q2}},
+	}
+	gs, err := GroupWindows(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 3 {
+		t.Fatalf("groups = %+v", gs)
+	}
+	if len(gs[0].Queries) != 1 || len(gs[1].Queries) != 2 || len(gs[2].Queries) != 1 {
+		t.Errorf("containment workloads wrong: %+v", gs)
+	}
+}
+
+// TestGroupWindowsInvariants property-tests the algorithm: groups
+// never overlap; their union covers exactly the union of the input
+// windows; and every point of an original window is covered by a
+// group containing that window's queries.
+func TestGroupWindowsInvariants(t *testing.T) {
+	_, m := fig7Windows(t)
+	pool := []*model.Query{m.Queries[4], m.Queries[5], m.Queries[6], m.Queries[7]}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		var ws []Window
+		for i, r := range raw {
+			start := float64(r % 50)
+			length := float64(1 + (r/50)%20)
+			ws = append(ws, Window{
+				Name:    string(rune('a' + i)),
+				Start:   start,
+				End:     start + length,
+				Queries: []*model.Query{pool[int(r)%len(pool)], pool[int(r/7)%len(pool)]},
+			})
+		}
+		gs, err := GroupWindows(ws)
+		if err != nil {
+			return false
+		}
+		// 1. Groups pairwise disjoint.
+		sorted := append([]Grouped(nil), gs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		for i := 1; i < len(sorted); i++ {
+			if sorted[i].Start < sorted[i-1].End {
+				return false
+			}
+		}
+		// 2+3. Sample points: coverage and workload preservation.
+		for x := 0.5; x < 75; x++ {
+			inWindows := map[string]bool{} // canonical keys required at x
+			covered := false
+			for _, w := range ws {
+				if w.Start <= x && x < w.End {
+					covered = true
+					for _, q := range w.Queries {
+						inWindows[CanonicalKey(q)] = true
+					}
+				}
+			}
+			var g *Grouped
+			for i := range sorted {
+				if sorted[i].Start <= x && x < sorted[i].End {
+					g = &sorted[i]
+					break
+				}
+			}
+			if covered != (g != nil) {
+				return false
+			}
+			if g != nil {
+				have := map[string]bool{}
+				for _, q := range g.Queries {
+					if have[CanonicalKey(q)] {
+						return false // duplicate within group
+					}
+					have[CanonicalKey(q)] = true
+				}
+				if len(have) != len(inWindows) {
+					return false
+				}
+				for k := range inWindows {
+					if !have[k] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShareWorkload(t *testing.T) {
+	_, m := fig7Windows(t)
+	shared := ShareWorkload(m.Queries)
+	// The two R1 queries (contexts c1 and c2) merge; everything else
+	// stays separate: 8 queries -> 7 shared units.
+	if len(shared) != 7 {
+		t.Fatalf("shared units = %d, want 7", len(shared))
+	}
+	var merged *SharedQuery
+	for i := range shared {
+		if shared[i].Members == 2 {
+			if merged != nil {
+				t.Fatal("more than one merge group")
+			}
+			merged = &shared[i]
+		}
+	}
+	if merged == nil {
+		t.Fatal("R1 queries not merged")
+	}
+	c1, _ := m.ContextByName("c1")
+	c2, _ := m.ContextByName("c2")
+	if merged.Mask != c1.Mask()|c2.Mask() {
+		t.Errorf("merged mask = %b", merged.Mask)
+	}
+	st := Stats(shared, len(m.Queries))
+	if st.Before != 8 || st.After != 7 || st.MaxMembers != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestNonShared(t *testing.T) {
+	_, m := fig7Windows(t)
+	ns := NonShared(m.Queries)
+	if len(ns) != len(m.Queries) {
+		t.Fatalf("non-shared units = %d", len(ns))
+	}
+	for i, sq := range ns {
+		if sq.Members != 1 || sq.Mask != m.Queries[i].Mask {
+			t.Errorf("unit %d = %+v", i, sq)
+		}
+	}
+}
+
+func TestGroupWorkloads(t *testing.T) {
+	ws, _ := fig7Windows(t)
+	gs, err := GroupWindows(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := GroupWorkloads(gs)
+	if len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Errorf("workload sizes = %v", sizes)
+	}
+}
+
+func BenchmarkGroupWindows(b *testing.B) {
+	m, err := model.CompileSource(groupingModel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := []*model.Query{m.Queries[4], m.Queries[5], m.Queries[6], m.Queries[7]}
+	var ws []Window
+	for i := 0; i < 64; i++ {
+		ws = append(ws, Window{
+			Name:    string(rune('a' + i%26)),
+			Start:   float64(i * 7 % 50),
+			End:     float64(i*7%50 + 10 + i%13),
+			Queries: []*model.Query{pool[i%4], pool[(i+1)%4]},
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GroupWindows(ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

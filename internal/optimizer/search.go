@@ -1,0 +1,225 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// OpSpec is an abstract plan operator for the plan search problem
+// (§5.1, §7.2): applying it to a stream costs Cost per input tuple
+// and passes a Sel fraction of tuples on. CAESAR borrows this
+// per-operator cost estimation from ZStream [24].
+type OpSpec struct {
+	Name string
+	Cost float64
+	// Sel in (0, 1]: output/input ratio.
+	Sel float64
+	// ContextWindow marks the CW operator: constant cost, and the
+	// context-aware search pins it to the bottom of the plan (§5.2).
+	ContextWindow bool
+	// Suspend is the fraction of the stream during which the CW
+	// operator's context is inactive; while inactive, everything
+	// above the CW costs nothing.
+	Suspend float64
+}
+
+// PlanCost evaluates an operator ordering: the cost of operator i is
+// its per-tuple cost times the fraction of the stream that survives
+// the operators below it. A context window operator additionally
+// scales everything above it by its active fraction (1 - Suspend).
+func PlanCost(order []OpSpec) float64 {
+	carried := 1.0
+	total := 0.0
+	for _, op := range order {
+		total += op.Cost * carried
+		carried *= op.Sel
+		if op.ContextWindow {
+			carried *= 1 - op.Suspend
+		}
+	}
+	return total
+}
+
+// SearchResult reports a plan search outcome.
+type SearchResult struct {
+	Order []OpSpec
+	Cost  float64
+	// Explored counts the states the search evaluated, a
+	// machine-independent measure of search effort.
+	Explored uint64
+}
+
+// ExhaustiveSearch finds the cost-optimal operator ordering by
+// dynamic programming over operator subsets (the classical
+// join-ordering formulation): 2^n states, each extended by up to n
+// operators. This is the context-independent multi-query optimization
+// baseline of Fig. 11(a): its cost grows exponentially with the plan
+// size. n is capped at 28 to bound memory.
+func ExhaustiveSearch(ops []OpSpec) (SearchResult, error) {
+	n := len(ops)
+	if n == 0 {
+		return SearchResult{}, fmt.Errorf("optimizer: empty plan")
+	}
+	if n > 28 {
+		return SearchResult{}, fmt.Errorf("optimizer: exhaustive search capped at 28 operators, got %d", n)
+	}
+	size := 1 << uint(n)
+	// best[s] = minimal cost to have applied exactly the operators in
+	// set s; carried[s] = stream fraction surviving set s (set-
+	// dependent only, which is what makes the DP exact).
+	best := make([]float64, size)
+	parent := make([]int8, size)
+	carried := make([]float64, size)
+	for s := 1; s < size; s++ {
+		best[s] = math.Inf(1)
+		parent[s] = -1
+	}
+	carried[0] = 1
+	var explored uint64
+	for s := 0; s < size; s++ {
+		if math.IsInf(best[s], 1) {
+			continue
+		}
+		if s != 0 {
+			// Compute carried fraction once per state.
+			low := s & (-s)
+			i := bits(low)
+			prev := s &^ low
+			c := carried[prev] * ops[i].Sel
+			if ops[i].ContextWindow {
+				c *= 1 - ops[i].Suspend
+			}
+			// carried depends only on the set, not the order, so any
+			// decomposition gives the same value.
+			carried[s] = c
+		}
+		for i := 0; i < n; i++ {
+			bit := 1 << uint(i)
+			if s&bit != 0 {
+				continue
+			}
+			explored++
+			next := s | bit
+			cost := best[s] + ops[i].Cost*carried[s]
+			if cost < best[next] {
+				best[next] = cost
+				parent[next] = int8(i)
+			}
+		}
+	}
+	full := size - 1
+	order := make([]OpSpec, 0, n)
+	for s := full; s != 0; {
+		i := int(parent[s])
+		order = append(order, ops[i])
+		s &^= 1 << uint(i)
+	}
+	// parent chain built back-to-front.
+	for l, r := 0, len(order)-1; l < r; l, r = l+1, r-1 {
+		order[l], order[r] = order[r], order[l]
+	}
+	return SearchResult{Order: order, Cost: PlanCost(order), Explored: explored}, nil
+}
+
+func bits(x int) int {
+	i := 0
+	for x > 1 {
+		x >>= 1
+		i++
+	}
+	return i
+}
+
+// GreedySearch is the context-aware plan search: it pushes every
+// context window operator to the bottom of the plan (§5.2, Theorem
+// 1 — provably optimal for the constant-cost CW), then orders the
+// remaining operators by the classical rank criterion
+// (1 - sel) / cost, optimal for independent commuting filters.
+// O(n log n); this is why the CAESAR optimizer's search time stays
+// flat in Fig. 11(a).
+func GreedySearch(ops []OpSpec) (SearchResult, error) {
+	if len(ops) == 0 {
+		return SearchResult{}, fmt.Errorf("optimizer: empty plan")
+	}
+	var cws, rest []OpSpec
+	for _, op := range ops {
+		if op.ContextWindow {
+			cws = append(cws, op)
+		} else {
+			rest = append(rest, op)
+		}
+	}
+	// Most-suspending context window first: it silences the most.
+	sort.SliceStable(cws, func(i, j int) bool { return cws[i].Suspend > cws[j].Suspend })
+	sort.SliceStable(rest, func(i, j int) bool { return rank(rest[i]) > rank(rest[j]) })
+	order := append(cws, rest...)
+	return SearchResult{Order: order, Cost: PlanCost(order), Explored: uint64(len(ops))}, nil
+}
+
+func rank(op OpSpec) float64 {
+	if op.Cost == 0 {
+		return math.Inf(1)
+	}
+	return (1 - op.Sel) / op.Cost
+}
+
+// BruteForcePermutations enumerates every n! ordering; it exists to
+// validate the subset DP on small inputs.
+func BruteForcePermutations(ops []OpSpec) (SearchResult, error) {
+	n := len(ops)
+	if n == 0 {
+		return SearchResult{}, fmt.Errorf("optimizer: empty plan")
+	}
+	if n > 9 {
+		return SearchResult{}, fmt.Errorf("optimizer: brute force capped at 9 operators")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	best := math.Inf(1)
+	var bestOrder []OpSpec
+	var explored uint64
+	var perm func(k int)
+	cur := make([]OpSpec, n)
+	perm = func(k int) {
+		if k == n {
+			explored++
+			if c := PlanCost(cur); c < best {
+				best = c
+				bestOrder = append(bestOrder[:0], cur...)
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			cur[k] = ops[idx[k]]
+			perm(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	perm(0)
+	return SearchResult{Order: append([]OpSpec(nil), bestOrder...), Cost: best, Explored: explored}, nil
+}
+
+// SyntheticPlan builds a deterministic pseudo-random plan of n
+// operators for the Fig. 11(a) experiment: one context window plus
+// n-1 filters/projections with varied costs and selectivities.
+func SyntheticPlan(n int, seed int64) []OpSpec {
+	ops := make([]OpSpec, 0, n)
+	ops = append(ops, OpSpec{Name: "cw", Cost: 0.01, Sel: 1, ContextWindow: true, Suspend: 0.7})
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	next := func() float64 {
+		x = x*2862933555777941757 + 3037000493
+		return float64(x>>11) / float64(1<<53)
+	}
+	for i := 1; i < n; i++ {
+		ops = append(ops, OpSpec{
+			Name: fmt.Sprintf("op%d", i),
+			Cost: 0.2 + 1.8*next(),
+			Sel:  0.1 + 0.85*next(),
+		})
+	}
+	return ops
+}

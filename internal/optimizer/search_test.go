@@ -1,0 +1,171 @@
+package optimizer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPlanCost(t *testing.T) {
+	ops := []OpSpec{
+		{Name: "f1", Cost: 1, Sel: 0.5},
+		{Name: "f2", Cost: 2, Sel: 0.5},
+	}
+	// f1 then f2: 1*1 + 2*0.5 = 2; f2 then f1: 2*1 + 1*0.5 = 2.5.
+	if got := PlanCost(ops); got != 2 {
+		t.Errorf("cost = %g, want 2", got)
+	}
+	if got := PlanCost([]OpSpec{ops[1], ops[0]}); got != 2.5 {
+		t.Errorf("cost = %g, want 2.5", got)
+	}
+}
+
+func TestPlanCostContextWindowSuspension(t *testing.T) {
+	cw := OpSpec{Name: "cw", Cost: 0.01, Sel: 1, ContextWindow: true, Suspend: 0.9}
+	f := OpSpec{Name: "f", Cost: 10, Sel: 0.5}
+	bottom := PlanCost([]OpSpec{cw, f}) // 0.01 + 10*0.1 = 1.01
+	top := PlanCost([]OpSpec{f, cw})    // 10 + 0.01*0.5 = 10.005
+	if !(bottom < top) {
+		t.Errorf("push-down not cheaper: bottom=%g top=%g", bottom, top)
+	}
+	if math.Abs(bottom-1.01) > 1e-12 {
+		t.Errorf("bottom = %g", bottom)
+	}
+}
+
+func TestExhaustiveMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		ops := SyntheticPlan(n, int64(trial))
+		dp, err := ExhaustiveSearch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bf, err := BruteForcePermutations(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dp.Cost-bf.Cost) > 1e-9*(1+bf.Cost) {
+			t.Fatalf("trial %d: DP cost %g != brute force %g", trial, dp.Cost, bf.Cost)
+		}
+		if len(dp.Order) != n {
+			t.Fatalf("DP order incomplete: %d ops", len(dp.Order))
+		}
+	}
+}
+
+func TestGreedyOptimalOnSyntheticPlans(t *testing.T) {
+	// With one constant-cost context window and independent filters,
+	// the greedy rank order is provably optimal; the context-aware
+	// search loses nothing on Fig. 11(a)'s plan family.
+	for seed := int64(0); seed < 30; seed++ {
+		ops := SyntheticPlan(7, seed)
+		g, err := GreedySearch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := ExhaustiveSearch(ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Cost > e.Cost*(1+1e-9) {
+			t.Errorf("seed %d: greedy %g worse than optimal %g", seed, g.Cost, e.Cost)
+		}
+	}
+}
+
+func TestGreedyNeverBelowOptimal(t *testing.T) {
+	// Property: greedy cost is never below the exhaustive optimum
+	// (sanity of both searches) on random plans without CW.
+	f := func(costs [6]uint8, sels [6]uint8) bool {
+		ops := make([]OpSpec, 0, 6)
+		for i := 0; i < 6; i++ {
+			ops = append(ops, OpSpec{
+				Cost: 0.1 + float64(costs[i])/64,
+				Sel:  0.05 + 0.9*float64(sels[i])/255,
+			})
+		}
+		g, err1 := GreedySearch(ops)
+		e, err2 := ExhaustiveSearch(ops)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g.Cost >= e.Cost-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSearchEffortGrowth(t *testing.T) {
+	// The machine-independent effort counter must grow exponentially
+	// for the exhaustive search and linearly for the greedy search —
+	// the Fig. 11(a) shape.
+	e16, _ := ExhaustiveSearch(SyntheticPlan(16, 1))
+	e20, _ := ExhaustiveSearch(SyntheticPlan(20, 1))
+	if ratio := float64(e20.Explored) / float64(e16.Explored); ratio < 10 {
+		t.Errorf("exhaustive effort grew only %.1fx from 16 to 20 ops", ratio)
+	}
+	g16, _ := GreedySearch(SyntheticPlan(16, 1))
+	g20, _ := GreedySearch(SyntheticPlan(20, 1))
+	if g20.Explored-g16.Explored != 4 {
+		t.Errorf("greedy effort not linear: %d vs %d", g16.Explored, g20.Explored)
+	}
+}
+
+func TestSearchErrors(t *testing.T) {
+	if _, err := ExhaustiveSearch(nil); err == nil {
+		t.Error("empty exhaustive accepted")
+	}
+	if _, err := GreedySearch(nil); err == nil {
+		t.Error("empty greedy accepted")
+	}
+	if _, err := BruteForcePermutations(nil); err == nil {
+		t.Error("empty brute force accepted")
+	}
+	if _, err := ExhaustiveSearch(make([]OpSpec, 29)); err == nil {
+		t.Error("oversized exhaustive accepted")
+	}
+	if _, err := BruteForcePermutations(make([]OpSpec, 10)); err == nil {
+		t.Error("oversized brute force accepted")
+	}
+}
+
+func TestGreedyPinsContextWindowsBottom(t *testing.T) {
+	ops := SyntheticPlan(10, 3)
+	g, err := GreedySearch(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Order[0].ContextWindow {
+		t.Errorf("context window not at plan bottom: %v", g.Order[0].Name)
+	}
+	for _, op := range g.Order[1:] {
+		if op.ContextWindow {
+			t.Error("second context window misplaced")
+		}
+	}
+}
+
+func BenchmarkExhaustiveSearch16(b *testing.B) {
+	ops := SyntheticPlan(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ExhaustiveSearch(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedySearch16(b *testing.B) {
+	ops := SyntheticPlan(16, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedySearch(ops); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

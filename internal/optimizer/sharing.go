@@ -1,0 +1,91 @@
+package optimizer
+
+import (
+	"sort"
+
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// SharedQuery is one execution unit of the shared workload: a
+// representative query plus the union context mask of every
+// equivalent query merged into it. The runtime executes one instance
+// per SharedQuery, active while any of the merged contexts holds —
+// the runtime realization of grouped context windows (§5.3, §6.2
+// "Context Processing").
+type SharedQuery struct {
+	Query *model.Query
+	// Mask is the union of the context masks of all merged queries.
+	Mask uint64
+	// Members counts how many user-level queries were merged (1 = no
+	// sharing happened for this query).
+	Members int
+}
+
+// ShareWorkload merges equivalent queries across contexts. Without
+// sharing, a query appearing in k overlapping contexts executes k
+// times while the contexts overlap; after sharing it executes once,
+// with its results valid for every merged context (paper §5.3: "only
+// one instance of each context deriving query for each context",
+// "deletes duplicate event queries").
+//
+// The merge is keyed on CanonicalKey, so only queries with identical
+// derivation, pattern, predicates and horizon are shared. The result
+// preserves the first-occurrence order of the input for plan
+// determinism.
+func ShareWorkload(queries []*model.Query) []SharedQuery {
+	index := map[string]int{}
+	var out []SharedQuery
+	for _, q := range queries {
+		k := CanonicalKey(q)
+		if i, ok := index[k]; ok {
+			out[i].Mask |= q.Mask
+			out[i].Members++
+			continue
+		}
+		index[k] = len(out)
+		out = append(out, SharedQuery{Query: q, Mask: q.Mask, Members: 1})
+	}
+	return out
+}
+
+// NonShared returns the degenerate one-instance-per-query workload
+// used by the non-shared baseline of §7.3.2.
+func NonShared(queries []*model.Query) []SharedQuery {
+	out := make([]SharedQuery, len(queries))
+	for i, q := range queries {
+		out[i] = SharedQuery{Query: q, Mask: q.Mask, Members: 1}
+	}
+	return out
+}
+
+// SharingStats summarizes how much a workload shrank.
+type SharingStats struct {
+	Before int
+	After  int
+	// MaxMembers is the largest merge group.
+	MaxMembers int
+}
+
+// Stats computes sharing statistics for a shared workload built from
+// n input queries.
+func Stats(shared []SharedQuery, n int) SharingStats {
+	s := SharingStats{Before: n, After: len(shared)}
+	for _, sq := range shared {
+		if sq.Members > s.MaxMembers {
+			s.MaxMembers = sq.Members
+		}
+	}
+	return s
+}
+
+// GroupWorkloads exposes the grouped-window workloads sorted by
+// span for the experiment harness: for each grouped window, the
+// number of distinct queries active during it.
+func GroupWorkloads(gs []Grouped) []int {
+	out := make([]int, len(gs))
+	for i, g := range gs {
+		out[i] = len(g.Queries)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,150 @@
+// Package pam is the physical activity monitoring substrate: a
+// synthetic stand-in for the PAMAP2 dataset (paper §7.1, [26] — 14
+// subjects, 1 h 15 min of activity reports). The generator produces
+// per-subject heart-rate/cadence readings driven by scripted activity
+// schedules; the CAESAR workload derives alerts and summaries that
+// are only relevant in particular activity contexts (resting /
+// exercising / peak effort).
+//
+// Substitution note (see DESIGN.md): the real dataset is a 1.6 GB
+// sensor trace; the CAESAR experiments over it only vary the number
+// of event queries, which this synthetic generator supports
+// identically.
+package pam
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Subjects is the number of monitored people in PAMAP2.
+const Subjects = 14
+
+// ModelSource renders the activity-monitoring CAESAR model with the
+// processing workload replicated `replicas` times (distinct
+// constants, so replicas never merge).
+func ModelSource(replicas int) string {
+	if replicas < 1 {
+		replicas = 1
+	}
+	var b strings.Builder
+	b.WriteString(`# Physical activity monitoring (PAMAP2-like)
+EVENT Reading(subj int, hr int, cadence int, sec int)
+EVENT Alert(subj int, hr int, sec int, q int)
+EVENT Summary(subj int, cadence int, sec int, q int)
+
+CONTEXT resting DEFAULT
+CONTEXT exercising
+CONTEXT peak
+
+SWITCH CONTEXT exercising
+PATTERN Reading r
+WHERE r.hr >= 100
+CONTEXT resting
+
+SWITCH CONTEXT resting
+PATTERN Reading r
+WHERE r.hr < 100
+CONTEXT exercising
+
+INITIATE CONTEXT peak
+PATTERN Reading r
+WHERE r.hr >= 160
+CONTEXT exercising
+
+TERMINATE CONTEXT peak
+PATTERN Reading r
+WHERE r.hr < 150
+CONTEXT peak
+`)
+	for i := 0; i < replicas; i++ {
+		// Sustained-peak alert: two peak readings in a row from the
+		// same subject.
+		fmt.Fprintf(&b, `
+DERIVE Alert(r2.subj, r2.hr, r2.sec, %d)
+PATTERN SEQ(Reading r1, Reading r2)
+WHERE r1.subj = r2.subj AND r1.hr >= 160 AND r2.hr >= 160
+WITHIN 30
+CONTEXT peak
+`, i)
+		// Cadence summaries while exercising.
+		fmt.Fprintf(&b, `
+DERIVE Summary(r.subj, r.cadence, r.sec, %d)
+PATTERN Reading r
+WHERE r.cadence > %d
+CONTEXT exercising
+`, 1000+i, 60+i%20)
+	}
+	return b.String()
+}
+
+// PartitionBy returns the stream partition key: one subject.
+func PartitionBy() []string { return []string{"subj"} }
+
+// Config parameterizes the generator.
+type Config struct {
+	Subjects int
+	// Duration in seconds (PAMAP2 covers 4500 s).
+	Duration int64
+	// Every is the reading interval in seconds.
+	Every int64
+	Seed  int64
+}
+
+// DefaultConfig is a laptop-scale setup: all 14 subjects, compressed
+// duration.
+func DefaultConfig() Config {
+	return Config{Subjects: Subjects, Duration: 1200, Every: 5, Seed: 1}
+}
+
+// Generate produces the activity stream, sorted by time. The
+// registry must come from the compiled ModelSource model.
+func Generate(cfg Config, reg *event.Registry) ([]*event.Event, error) {
+	if cfg.Subjects < 1 || cfg.Subjects > Subjects {
+		return nil, fmt.Errorf("pam: subjects must be in 1..%d", Subjects)
+	}
+	if cfg.Duration < 1 || cfg.Every < 1 {
+		return nil, fmt.Errorf("pam: duration and interval must be positive")
+	}
+	rd, ok := reg.Lookup("Reading")
+	if !ok {
+		return nil, fmt.Errorf("pam: registry lacks Reading (use the ModelSource registry)")
+	}
+	var out []*event.Event
+	for s := 0; s < cfg.Subjects; s++ {
+		rng := rand.New(rand.NewSource(cfg.Seed ^ int64(s)*1_000_003 + 7))
+		out = append(out, genSubject(cfg, rd, s, rng)...)
+	}
+	event.SortByTime(out)
+	return out, nil
+}
+
+// genSubject scripts a subject's session: rest, then interval
+// training (exercise blocks with peak bursts), then rest.
+func genSubject(cfg Config, rd *event.Schema, subj int, rng *rand.Rand) []*event.Event {
+	var out []*event.Event
+	// Each subject exercises in the middle [20%, 85%) of the session,
+	// with peak bursts every 5th block of 60 s.
+	exStart := cfg.Duration / 5
+	exEnd := cfg.Duration * 85 / 100
+	for t := int64(0); t < cfg.Duration; t += cfg.Every {
+		var hr, cad int64
+		switch {
+		case t < exStart || t >= exEnd:
+			hr = 60 + int64(rng.Intn(20))
+			cad = int64(rng.Intn(10))
+		case (t/60)%5 == int64(subj%5): // this subject's peak block
+			hr = 160 + int64(rng.Intn(25))
+			cad = 90 + int64(rng.Intn(30))
+		default:
+			hr = 110 + int64(rng.Intn(35))
+			cad = 60 + int64(rng.Intn(40))
+		}
+		out = append(out, event.MustNew(rd, event.Time(t),
+			event.Int64(int64(subj+1)), event.Int64(hr), event.Int64(cad), event.Int64(t)))
+	}
+	return out
+}

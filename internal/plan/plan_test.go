@@ -1,0 +1,386 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/algebra"
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// The toll pipeline of paper Fig. 3 / Fig. 6: query order in source
+// is deliberately consumer-before-producer to exercise topological
+// ordering.
+const tollModel = `
+EVENT PositionReport(vid int, lane int, sec int)
+EVENT NewTravelingCar(vid int, sec int)
+EVENT TollNotification(vid int, sec int, toll int)
+
+CONTEXT clear DEFAULT
+CONTEXT congestion
+
+DERIVE TollNotification(p.vid, p.sec, 5)
+PATTERN NewTravelingCar p
+CONTEXT congestion
+
+DERIVE NewTravelingCar(p2.vid, p2.sec)
+PATTERN SEQ(NOT PositionReport p1, PositionReport p2)
+WHERE p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 4
+CONTEXT congestion
+
+SWITCH CONTEXT congestion
+PATTERN PositionReport p
+WHERE p.lane = 0
+CONTEXT clear
+`
+
+func buildPlan(t *testing.T, src string, opts Options) *Plan {
+	t.Helper()
+	m, err := model.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	p := buildPlan(t, tollModel, Optimized())
+	pos := map[string]int{}
+	for i, qp := range p.Queries {
+		pos[qp.Query.Name] = i
+	}
+	producer := "q1(DERIVE NewTravelingCar)"
+	consumer := "q0(DERIVE TollNotification)"
+	if pos[producer] > pos[consumer] {
+		t.Errorf("producer ordered after consumer: %v", pos)
+	}
+	if len(p.Queries) != 3 {
+		t.Fatalf("plans = %d", len(p.Queries))
+	}
+}
+
+func TestHorizonResolution(t *testing.T) {
+	p := buildPlan(t, tollModel, Options{PushDown: true, EagerFilters: true, DefaultHorizon: 77})
+	for _, qp := range p.Queries {
+		if qp.Horizon != 77 {
+			t.Errorf("%s horizon = %d, want 77", qp.Query.Name, qp.Horizon)
+		}
+	}
+	p2 := buildPlan(t, tollModel, Optimized())
+	if p2.Queries[0].Horizon != DefaultHorizon {
+		t.Errorf("default horizon = %d", p2.Queries[0].Horizon)
+	}
+}
+
+func TestTrailingNegationRequiresWithin(t *testing.T) {
+	src := `
+EVENT A(v int)
+EVENT B(v int)
+EVENT Out(v int)
+CONTEXT c DEFAULT
+DERIVE Out(a.v)
+PATTERN SEQ(A a, NOT B b)
+`
+	m, err := model.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(m, Optimized()); err == nil || !strings.Contains(err.Error(), "WITHIN") {
+		t.Errorf("trailing negation without WITHIN accepted: %v", err)
+	}
+}
+
+// runToll drives the toll pipeline by hand the way the runtime does:
+// derived events of upstream instances join the batch of downstream
+// instances within the same transaction.
+func runToll(t *testing.T, opts Options, withRouting bool) []*event.Event {
+	t.Helper()
+	p := buildPlan(t, tollModel, opts)
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+
+	instances := make([]*Instance, len(p.Queries))
+	for i, qp := range p.Queries {
+		inst, err := qp.NewInstance(vec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances[i] = inst
+	}
+
+	pr, _ := m.Registry.Lookup("PositionReport")
+	mkPR := func(ts event.Time, vid, lane int64) *event.Event {
+		return event.MustNew(pr, ts, event.Int64(vid), event.Int64(lane), event.Int64(int64(ts)))
+	}
+	// t=0: car 1 on lane 0 switches context to congestion (effective
+	// for t>0) and is itself a "new traveling car" (but congestion is
+	// not active at t=0, so no toll under push-down semantics).
+	// t=30: car 1 reports again (lane 1): has a predecessor, no toll.
+	// t=30: car 2 reports first time: new traveling car, toll.
+	// t=60: car 3 on exit lane 4: no toll.
+	stream := [][]*event.Event{
+		{mkPR(0, 1, 0)},
+		{mkPR(30, 1, 1), mkPR(30, 2, 1)},
+		{mkPR(60, 3, 4)},
+	}
+	var outputs []*event.Event
+	for _, batch := range stream {
+		now := batch[0].End()
+		pool := batch
+		var trans []algebra.Transition
+		for _, inst := range instances {
+			if withRouting && !inst.Active() {
+				continue
+			}
+			var derived []*event.Event
+			derived, trans = inst.Exec(now, pool, nil, trans)
+			if len(derived) > 0 {
+				pool = append(append([]*event.Event(nil), pool...), derived...)
+				outputs = append(outputs, derived...)
+			}
+		}
+		for _, tr := range trans {
+			vec.Apply(tr, m.Default.Index)
+		}
+	}
+	return outputs
+}
+
+func TestTollPipelineOptimized(t *testing.T) {
+	outputs := runToll(t, Optimized(), true)
+	var tolls, ntc []*event.Event
+	for _, e := range outputs {
+		switch e.TypeName() {
+		case "TollNotification":
+			tolls = append(tolls, e)
+		case "NewTravelingCar":
+			ntc = append(ntc, e)
+		}
+	}
+	// Context windows scope their queries (§3.4): the congestion
+	// window opens after t=0, so car 1's t=0 report is outside the
+	// window and car 1 counts as newly traveling at t=30, alongside
+	// car 2. Car 3 is on the exit lane and is filtered.
+	if len(ntc) != 2 || ntc[0].At(0).Int != 1 || ntc[1].At(0).Int != 2 {
+		t.Fatalf("new traveling cars = %v", ntc)
+	}
+	if len(tolls) != 2 || tolls[0].At(0).Int != 1 || tolls[1].At(0).Int != 2 || tolls[0].At(2).Int != 5 {
+		t.Fatalf("tolls = %v", tolls)
+	}
+}
+
+func TestTollPipelineChainsWithinTransaction(t *testing.T) {
+	// The NewTravelingCar derived at t=30 must produce its
+	// TollNotification in the same transaction (combined plan, §4.2),
+	// which TestTollPipelineOptimized already observes; here we check
+	// the derived event's interval and arrival survive the chain.
+	outputs := runToll(t, Optimized(), true)
+	for _, e := range outputs {
+		if e.TypeName() == "TollNotification" {
+			if e.Time.Start != 30 || e.Time.End != 30 {
+				t.Errorf("toll interval = %v", e.Time)
+			}
+		}
+	}
+}
+
+// runTollStream is runToll with a caller-supplied stream builder.
+// The builder receives the plan's registry because event schemas are
+// matched by pointer identity.
+func runTollStream(t *testing.T, opts Options, withRouting bool, mkStream func(reg *event.Registry) [][]*event.Event) []*event.Event {
+	t.Helper()
+	p := buildPlan(t, tollModel, opts)
+	m := p.Model
+	stream := mkStream(m.Registry)
+	vec := algebra.NewVector(m.Default.Index)
+	instances := make([]*Instance, len(p.Queries))
+	for i, qp := range p.Queries {
+		inst, err := qp.NewInstance(vec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances[i] = inst
+	}
+	var outputs []*event.Event
+	for _, batch := range stream {
+		now := batch[0].End()
+		pool := batch
+		var trans []algebra.Transition
+		for _, inst := range instances {
+			if withRouting && !inst.Active() {
+				continue
+			}
+			var derived []*event.Event
+			derived, trans = inst.Exec(now, pool, nil, trans)
+			if len(derived) > 0 {
+				pool = append(append([]*event.Event(nil), pool...), derived...)
+				outputs = append(outputs, derived...)
+			}
+		}
+		for _, tr := range trans {
+			vec.Apply(tr, m.Default.Index)
+		}
+	}
+	return outputs
+}
+
+func TestNonOptimizedSameTollOutputs(t *testing.T) {
+	// A workload where no match spans the context boundary: the
+	// switch trigger (car 99) never reports again, and all other
+	// activity happens strictly inside the congestion window. Both
+	// plan shapes must then produce identical outputs; only their
+	// cost differs (Theorem 1 compares cost, not semantics).
+	stream := func(reg *event.Registry) [][]*event.Event {
+		pr, _ := reg.Lookup("PositionReport")
+		mkPR := func(ts event.Time, vid, lane int64) *event.Event {
+			return event.MustNew(pr, ts, event.Int64(vid), event.Int64(lane), event.Int64(int64(ts)))
+		}
+		return [][]*event.Event{
+			{mkPR(0, 99, 0)},                 // switch to congestion
+			{mkPR(30, 2, 1)},                 // new traveling car
+			{mkPR(60, 2, 1), mkPR(60, 3, 4)}, // car 2 has predecessor; car 3 exits
+		}
+	}
+	opt := runTollStream(t, Optimized(), true, stream)
+	non := runTollStream(t, NonOptimized(), false, stream)
+	if len(opt) != len(non) {
+		t.Fatalf("optimized %d outputs (%v), non-optimized %d (%v)", len(opt), opt, len(non), non)
+	}
+	// The two runs use separately compiled models, so schemas differ
+	// by pointer; compare the rendered events.
+	for i := range opt {
+		if opt[i].String() != non[i].String() {
+			t.Errorf("output %d differs: %v vs %v", i, opt[i], non[i])
+		}
+	}
+	if len(opt) != 2 { // NewTravelingCar + TollNotification for car 2
+		t.Errorf("outputs = %v", opt)
+	}
+}
+
+func TestInstanceActiveFollowsVector(t *testing.T) {
+	p := buildPlan(t, tollModel, Optimized())
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+	var tollInst *Instance
+	for _, qp := range p.Queries {
+		if strings.Contains(qp.Query.Name, "TollNotification") {
+			inst, err := qp.NewInstance(vec, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tollInst = inst
+		}
+	}
+	if tollInst.Active() {
+		t.Error("toll plan active in clear context")
+	}
+	cong, _ := m.ContextByName("congestion")
+	vec.Apply(algebra.Transition{Kind: algebra.TransInit, Context: cong.Index, At: 1}, m.Default.Index)
+	if !tollInst.Active() {
+		t.Error("toll plan inactive in congestion context")
+	}
+}
+
+func TestInstanceMaskOverride(t *testing.T) {
+	p := buildPlan(t, tollModel, Optimized())
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+	clear, _ := m.ContextByName("clear")
+	cong, _ := m.ContextByName("congestion")
+	union := clear.Mask() | cong.Mask()
+	inst, err := p.Queries[0].NewInstance(vec, union)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Mask != union {
+		t.Errorf("mask = %b, want %b", inst.Mask, union)
+	}
+	if !inst.Active() {
+		t.Error("widened instance should be active in default context")
+	}
+}
+
+func TestInstanceResetDropsHistory(t *testing.T) {
+	p := buildPlan(t, tollModel, Optimized())
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+	cong, _ := m.ContextByName("congestion")
+	vec.Apply(algebra.Transition{Kind: algebra.TransInit, Context: cong.Index, At: 0}, m.Default.Index)
+
+	var ntcPlan *QueryPlan
+	for _, qp := range p.Queries {
+		if strings.Contains(qp.Query.Name, "NewTravelingCar") {
+			ntcPlan = qp
+		}
+	}
+	inst, err := ntcPlan.NewInstance(vec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, _ := m.Registry.Lookup("PositionReport")
+	e := event.MustNew(pr, 10, event.Int64(1), event.Int64(1), event.Int64(10))
+	inst.Exec(10, []*event.Event{e}, nil, nil)
+	if _, nb, _ := inst.Footprint(); nb == 0 {
+		t.Fatal("negation buffer empty after event")
+	}
+	inst.Reset()
+	if pa, nb, pe := inst.Footprint(); pa+nb+pe != 0 {
+		t.Error("reset kept state")
+	}
+	if inst.PatternStats().EventsSeen != 1 {
+		t.Error("stats should survive reset")
+	}
+}
+
+func TestBaselineOptions(t *testing.T) {
+	o := Baseline()
+	if o.PushDown || !o.EagerFilters {
+		t.Errorf("Baseline() = %+v", o)
+	}
+	p := buildPlan(t, tollModel, o)
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+	inst, err := p.Queries[0].NewInstance(vec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline instances are never suspended.
+	if !inst.Active() {
+		t.Error("baseline instance inactive")
+	}
+}
+
+func TestNewFusedInstanceValidation(t *testing.T) {
+	p := buildPlan(t, tollModel, Optimized())
+	m := p.Model
+	vec := algebra.NewVector(m.Default.Index)
+	// Window queries cannot fuse.
+	var windowQP *QueryPlan
+	var deriveQP *QueryPlan
+	for _, qp := range p.Queries {
+		if qp.Query.IsWindowQuery() {
+			windowQP = qp
+		} else if deriveQP == nil {
+			deriveQP = qp
+		}
+	}
+	if _, err := windowQP.NewFusedInstance(vec, 0, []*model.Query{windowQP.Query}); err == nil {
+		t.Error("window query fused")
+	}
+	// Fusing a derive query with a second member works and derives
+	// both heads.
+	second := deriveQP.Query
+	inst, err := deriveQP.NewFusedInstance(vec, 0, []*model.Query{deriveQP.Query, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inst.projects) != 2 {
+		t.Errorf("projections = %d", len(inst.projects))
+	}
+}

@@ -1,0 +1,124 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/algebra"
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// tumbleModel derives per-key statistics and a downstream alert that
+// consumes the aggregate within the same combined plan.
+const tumbleModel = `
+EVENT P(k int, v int, sec int)
+EVENT Agg(k int, cnt int, mean float, sec int)
+EVENT Hot(k int, cnt int)
+
+CONTEXT on DEFAULT
+
+DERIVE Agg(p.k, count(), avg(p.v), p.sec)
+PATTERN P p
+TUMBLE 10
+
+DERIVE Hot(a.k, a.cnt)
+PATTERN Agg a
+WHERE a.cnt >= 3
+`
+
+func TestTumbleInstanceEndToEnd(t *testing.T) {
+	m, err := model.CompileSource(tumbleModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(m, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := algebra.NewVector(m.Default.Index)
+	var insts []*Instance
+	for _, qp := range p.Queries {
+		in, err := qp.NewInstance(vec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		insts = append(insts, in)
+	}
+	ps, _ := m.Registry.Lookup("P")
+	mk := func(ts event.Time, v int64) *event.Event {
+		return event.MustNew(ps, ts, event.Int64(1), event.Int64(v), event.Int64(int64(ts)))
+	}
+	// Window [0,10): 3 events -> Agg(cnt=3) -> Hot. Window [10,20):
+	// 1 event -> no Hot. Flush with an empty transaction at t=25.
+	stream := [][]*event.Event{
+		{mk(1, 10)}, {mk(4, 20)}, {mk(9, 30)},
+		{mk(12, 5)},
+		{mk(25, 1)},
+	}
+	var outputs []*event.Event
+	for _, batch := range stream {
+		now := batch[0].End()
+		pool := batch
+		for _, in := range insts {
+			var derived []*event.Event
+			derived, _ = in.Exec(now, pool, nil, nil)
+			if len(derived) > 0 {
+				pool = append(append([]*event.Event(nil), pool...), derived...)
+				outputs = append(outputs, derived...)
+			}
+		}
+	}
+	var aggs, hots []*event.Event
+	for _, e := range outputs {
+		switch e.TypeName() {
+		case "Agg":
+			aggs = append(aggs, e)
+		case "Hot":
+			hots = append(hots, e)
+		}
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("aggs = %v", aggs)
+	}
+	if cnt, _ := aggs[0].Get("cnt"); cnt.Int != 3 {
+		t.Errorf("first window cnt = %v", cnt)
+	}
+	if mean, _ := aggs[0].Get("mean"); mean.Float != 20 {
+		t.Errorf("first window mean = %v", mean)
+	}
+	if aggs[0].Time.End != 9 || aggs[1].Time.End != 19 {
+		t.Errorf("agg times = %v, %v", aggs[0].Time, aggs[1].Time)
+	}
+	// The downstream Hot query consumed the aggregate in-transaction.
+	if len(hots) != 1 {
+		t.Fatalf("hots = %v", hots)
+	}
+	if cnt, _ := hots[0].Get("cnt"); cnt.Int != 3 {
+		t.Errorf("hot cnt = %v", cnt)
+	}
+}
+
+func TestTumbleInstanceReset(t *testing.T) {
+	m, err := model.CompileSource(tumbleModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(m, Optimized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vec := algebra.NewVector(m.Default.Index)
+	in, err := p.Queries[0].NewInstance(vec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := m.Registry.Lookup("P")
+	e := event.MustNew(ps, 1, event.Int64(1), event.Int64(5), event.Int64(1))
+	in.Exec(1, []*event.Event{e}, nil, nil)
+	in.Reset()
+	// The open window was discarded: advancing past it derives nothing.
+	derived, _ := in.Exec(50, nil, nil, nil)
+	if len(derived) != 0 {
+		t.Errorf("reset window still flushed: %v", derived)
+	}
+}

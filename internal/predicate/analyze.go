@@ -1,0 +1,225 @@
+package predicate
+
+import (
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+// Conjuncts splits a WHERE expression at top-level ANDs. Each
+// conjunct can then be compiled separately, enabling eager predicate
+// evaluation during incremental pattern matching (a conjunct is
+// checked as soon as all its variables are bound) and the negation
+// semantics of SEQ with NOT (conjuncts referencing a negated variable
+// become the negation condition).
+func Conjuncts(e lang.Expr) []lang.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*lang.BinaryExpr); ok && b.Op == lang.OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []lang.Expr{e}
+}
+
+// Threshold is a compile-time comparison of one attribute against a
+// constant: attr OP value. Context deriving queries in the grouping
+// experiments take this form (paper Fig. 7: "initiate c1 if X > 10"),
+// and thresholds are what lets the optimizer order context window
+// bounds without knowing their absolute times (§5.3).
+type Threshold struct {
+	Var   string // pattern variable ("" for bare attribute references)
+	Attr  string
+	Op    lang.Op // OpLt, OpLeq, OpGt, OpGeq, OpEq
+	Value float64
+}
+
+// ExtractThreshold recognizes expressions of the shape
+// `var.attr OP const` or `const OP var.attr` (the latter is
+// normalized by flipping the operator). It reports ok=false for any
+// other shape.
+func ExtractThreshold(e lang.Expr) (Threshold, bool) {
+	b, ok := e.(*lang.BinaryExpr)
+	if !ok || !b.Op.Comparison() || b.Op == lang.OpNeq {
+		return Threshold{}, false
+	}
+	if ref, c, ok := refConst(b.L, b.R); ok {
+		return Threshold{Var: ref.Var, Attr: ref.Attr, Op: b.Op, Value: c}, true
+	}
+	if ref, c, ok := refConst(b.R, b.L); ok {
+		return Threshold{Var: ref.Var, Attr: ref.Attr, Op: flip(b.Op), Value: c}, true
+	}
+	return Threshold{}, false
+}
+
+func refConst(a, b lang.Expr) (*lang.AttrRef, float64, bool) {
+	ref, ok := a.(*lang.AttrRef)
+	if !ok {
+		return nil, 0, false
+	}
+	c, ok := b.(*lang.ConstExpr)
+	if !ok || !c.Val.Numeric() {
+		return nil, 0, false
+	}
+	return ref, c.Val.AsFloat(), true
+}
+
+func flip(op lang.Op) lang.Op {
+	switch op {
+	case lang.OpLt:
+		return lang.OpGt
+	case lang.OpLeq:
+		return lang.OpGeq
+	case lang.OpGt:
+		return lang.OpLt
+	case lang.OpGeq:
+		return lang.OpLeq
+	default:
+		return op
+	}
+}
+
+// Implies reports whether threshold a logically implies threshold b:
+// every attribute value satisfying a also satisfies b. Thresholds on
+// different attributes never imply each other. This is the predicate
+// subsumption check CAESAR borrows from classical predicate locking
+// (paper §3.3 cites Eswaran et al. [14]).
+func Implies(a, b Threshold) bool {
+	if a.Var != b.Var || a.Attr != b.Attr {
+		return false
+	}
+	switch b.Op {
+	case lang.OpGt:
+		switch a.Op {
+		case lang.OpGt:
+			return a.Value >= b.Value
+		case lang.OpGeq:
+			return a.Value > b.Value
+		case lang.OpEq:
+			return a.Value > b.Value
+		}
+	case lang.OpGeq:
+		switch a.Op {
+		case lang.OpGt:
+			return a.Value >= b.Value
+		case lang.OpGeq:
+			return a.Value >= b.Value
+		case lang.OpEq:
+			return a.Value >= b.Value
+		}
+	case lang.OpLt:
+		switch a.Op {
+		case lang.OpLt:
+			return a.Value <= b.Value
+		case lang.OpLeq:
+			return a.Value < b.Value
+		case lang.OpEq:
+			return a.Value < b.Value
+		}
+	case lang.OpLeq:
+		switch a.Op {
+		case lang.OpLt:
+			return a.Value <= b.Value
+		case lang.OpLeq:
+			return a.Value <= b.Value
+		case lang.OpEq:
+			return a.Value <= b.Value
+		}
+	case lang.OpEq:
+		return a.Op == lang.OpEq && a.Value == b.Value
+	}
+	return false
+}
+
+// BoundOrder compares two context-window bounds, each described by
+// the threshold of its deriving query over the same monotonically
+// non-decreasing attribute (e.g. stream time, or the X of paper
+// Fig. 7). It returns:
+//
+//	-1 if bound a is guaranteed to occur no later than bound b,
+//	+1 if bound b is guaranteed to occur no later than bound a,
+//	 0 if the order cannot be determined at compile time.
+//
+// For a monotone attribute, the window bound "initiate when X > v"
+// fires when X first exceeds v, so bounds are ordered by their
+// threshold values.
+func BoundOrder(a, b Threshold) int {
+	if a.Var != b.Var || a.Attr != b.Attr {
+		return 0
+	}
+	lowerOK := func(t Threshold) bool { return t.Op == lang.OpGt || t.Op == lang.OpGeq || t.Op == lang.OpEq }
+	if !lowerOK(a) || !lowerOK(b) {
+		// "terminate when X < v" style bounds on a monotone attribute
+		// fire immediately; treat as incomparable.
+		return 0
+	}
+	av, bv := effectiveLower(a), effectiveLower(b)
+	switch {
+	case av < bv:
+		return -1
+	case av > bv:
+		return 1
+	default:
+		return orderTieBreak(a.Op, b.Op)
+	}
+}
+
+// effectiveLower maps a lower-bound threshold to the comparable
+// trigger point on the monotone axis.
+func effectiveLower(t Threshold) float64 { return t.Value }
+
+// orderTieBreak orders equal-valued bounds: >= v fires no later than
+// > v.
+func orderTieBreak(a, b lang.Op) int {
+	rank := func(op lang.Op) int {
+		switch op {
+		case lang.OpGeq, lang.OpEq:
+			return 0
+		default: // OpGt
+			return 1
+		}
+	}
+	switch {
+	case rank(a) < rank(b):
+		return -1
+	case rank(a) > rank(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// GuaranteedOverlap reports whether, based on the deriving-query
+// thresholds over a shared monotone attribute, a window initiated at
+// bound aStart and terminated at aEnd is guaranteed to overlap a
+// window (bStart, bEnd]: aStart falls within (bStart, bEnd]
+// (paper Def. 2).
+func GuaranteedOverlap(aStart, bStart, bEnd Threshold) bool {
+	return BoundOrder(bStart, aStart) <= 0 && BoundOrder(aStart, bEnd) < 0 &&
+		comparableBounds(aStart, bStart) && comparableBounds(aStart, bEnd)
+}
+
+// Contained reports whether window a is contained in window b:
+// a's start and end both fall within b (paper Def. 2).
+func Contained(aStart, aEnd, bStart, bEnd Threshold) bool {
+	return GuaranteedOverlap(aStart, bStart, bEnd) &&
+		BoundOrder(aEnd, bEnd) <= 0 && comparableBounds(aEnd, bEnd)
+}
+
+func comparableBounds(a, b Threshold) bool {
+	return a.Var == b.Var && a.Attr == b.Attr
+}
+
+// ConstFold evaluates an expression with no variable references to a
+// constant value; ok=false if it has free attributes or fails to
+// type-check.
+func ConstFold(e lang.Expr) (event.Value, bool) {
+	env := NewEnv()
+	c, err := Compile(e, env)
+	if err != nil {
+		return event.Value{}, false
+	}
+	if c.Vars() != 0 {
+		return event.Value{}, false
+	}
+	return c.Eval(nil), true
+}

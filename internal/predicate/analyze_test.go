@@ -1,0 +1,202 @@
+package predicate
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+func parse(t *testing.T, src string) lang.Expr {
+	t.Helper()
+	e, err := lang.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestConjuncts(t *testing.T) {
+	e := parse(t, "a.x = 1 AND (b.y > 2 OR b.y < 0) AND c.z != 3")
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(cs))
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+	single := parse(t, "a.x = 1 OR b.y = 2")
+	if got := Conjuncts(single); len(got) != 1 {
+		t.Errorf("OR must not split: %d", len(got))
+	}
+}
+
+func TestExtractThreshold(t *testing.T) {
+	cases := []struct {
+		src  string
+		want Threshold
+		ok   bool
+	}{
+		{"s.x > 10", Threshold{Var: "s", Attr: "x", Op: lang.OpGt, Value: 10}, true},
+		{"s.x <= 2.5", Threshold{Var: "s", Attr: "x", Op: lang.OpLeq, Value: 2.5}, true},
+		{"20 < s.x", Threshold{Var: "s", Attr: "x", Op: lang.OpGt, Value: 20}, true},
+		{"30 >= s.x", Threshold{Var: "s", Attr: "x", Op: lang.OpLeq, Value: 30}, true},
+		{"x = 7", Threshold{Var: "", Attr: "x", Op: lang.OpEq, Value: 7}, true},
+		{"s.x != 10", Threshold{}, false},
+		{"s.x > s.y", Threshold{}, false},
+		{"s.x + 1 > 10", Threshold{}, false},
+		{"s.x > 'a'", Threshold{}, false},
+		{"s.x = 1 AND s.y = 2", Threshold{}, false},
+	}
+	for _, tc := range cases {
+		got, ok := ExtractThreshold(parse(t, tc.src))
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.src, ok, tc.ok)
+			continue
+		}
+		if ok && got != tc.want {
+			t.Errorf("%s: threshold = %+v, want %+v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestImplies(t *testing.T) {
+	th := func(src string) Threshold {
+		t.Helper()
+		x, ok := ExtractThreshold(parse(t, src))
+		if !ok {
+			t.Fatalf("not a threshold: %s", src)
+		}
+		return x
+	}
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"s.x > 20", "s.x > 10", true},
+		{"s.x > 10", "s.x > 20", false},
+		{"s.x > 10", "s.x > 10", true},
+		{"s.x >= 11", "s.x > 10", true},
+		{"s.x >= 10", "s.x > 10", false},
+		{"s.x > 10", "s.x >= 10", true},
+		{"s.x = 15", "s.x > 10", true},
+		{"s.x = 5", "s.x > 10", false},
+		{"s.x < 10", "s.x < 20", true},
+		{"s.x < 20", "s.x < 10", false},
+		{"s.x <= 9", "s.x < 10", true},
+		{"s.x <= 10", "s.x < 10", false},
+		{"s.x < 10", "s.x <= 10", true},
+		{"s.x = 5", "s.x <= 5", true},
+		{"s.x = 5", "s.x = 5", true},
+		{"s.x > 5", "s.x = 5", false},
+		{"s.x > 5", "s.y > 1", false},
+	}
+	for _, tc := range cases {
+		if got := Implies(th(tc.a), th(tc.b)); got != tc.want {
+			t.Errorf("Implies(%s, %s) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestBoundOrder(t *testing.T) {
+	th := func(src string) Threshold {
+		t.Helper()
+		x, _ := ExtractThreshold(parse(t, src))
+		return x
+	}
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"s.x > 10", "s.x > 20", -1},
+		{"s.x > 20", "s.x > 10", 1},
+		{"s.x > 10", "s.x > 10", 0},
+		{"s.x >= 10", "s.x > 10", -1}, // >= fires no later than >
+		{"s.x > 10", "s.x >= 10", 1},
+		{"s.x = 10", "s.x > 10", -1},
+		{"s.x > 10", "s.y > 10", 0}, // different attributes: unknown
+		{"s.x < 10", "s.x > 20", 0}, // upper bound on monotone axis: unknown
+	}
+	for _, tc := range cases {
+		if got := BoundOrder(th(tc.a), th(tc.b)); got != tc.want {
+			t.Errorf("BoundOrder(%s, %s) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestGuaranteedOverlapAndContainment(t *testing.T) {
+	th := func(src string) Threshold {
+		t.Helper()
+		x, _ := ExtractThreshold(parse(t, src))
+		return x
+	}
+	// Paper Fig. 7: w_c1 = (X>10, X<30), w_c2 = (X>20, X<40) — c2
+	// starts inside c1 when bounds are ordered 10 < 20 < 30 < 40.
+	// On the monotone axis we express ends as lower-bound triggers:
+	// terminate c1 when X >= 30, terminate c2 when X >= 40.
+	c1s, c1e := th("s.x > 10"), th("s.x >= 30")
+	c2s, c2e := th("s.x > 20"), th("s.x >= 40")
+	if !GuaranteedOverlap(c2s, c1s, c1e) {
+		t.Error("c2 should be guaranteed to start inside c1")
+	}
+	if GuaranteedOverlap(c1s, c2s, c2e) {
+		t.Error("c1 starts before c2; no overlap guarantee that way")
+	}
+	// Containment: c3 = (X>15, X>=25) inside c1 = (X>10, X>=30).
+	c3s, c3e := th("s.x > 15"), th("s.x >= 25")
+	if !Contained(c3s, c3e, c1s, c1e) {
+		t.Error("c3 should be contained in c1")
+	}
+	if Contained(c2s, c2e, c1s, c1e) {
+		t.Error("c2 ends after c1; not contained")
+	}
+	// Incomparable attributes are never guaranteed.
+	if GuaranteedOverlap(th("s.y > 20"), c1s, c1e) {
+		t.Error("different attribute must not be comparable")
+	}
+}
+
+func TestConstFold(t *testing.T) {
+	if v, ok := ConstFold(parse(t, "2 + 3 * 4")); !ok || v.Int != 14 {
+		t.Errorf("ConstFold = %v, %v", v, ok)
+	}
+	if v, ok := ConstFold(parse(t, "2 < 3")); !ok || !v.AsBool() {
+		t.Errorf("ConstFold bool = %v, %v", v, ok)
+	}
+	if _, ok := ConstFold(parse(t, "x + 1")); ok {
+		t.Error("free attribute folded")
+	}
+	if _, ok := ConstFold(parse(t, "1 AND 2")); ok {
+		t.Error("ill-typed expression folded")
+	}
+}
+
+func TestVarSet(t *testing.T) {
+	var s VarSet
+	s = s.With(0).With(3)
+	if !s.Has(0) || !s.Has(3) || s.Has(1) {
+		t.Error("Has/With broken")
+	}
+	if s.Count() != 2 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	if !s.SubsetOf(s.With(5)) || s.With(5).SubsetOf(s) {
+		t.Error("SubsetOf broken")
+	}
+	if !VarSet(0).SubsetOf(s) {
+		t.Error("empty set must be subset of all")
+	}
+}
+
+func TestThresholdValueKinds(t *testing.T) {
+	// Float constants extract too.
+	got, ok := ExtractThreshold(parse(t, "s.speed < 40.5"))
+	if !ok || got.Value != 40.5 {
+		t.Errorf("float threshold = %+v, %v", got, ok)
+	}
+	// Bool/string constants do not.
+	if _, ok := ExtractThreshold(parse(t, "s.lane = 'exit'")); ok {
+		t.Error("string threshold extracted")
+	}
+	_ = event.Value{}
+}

@@ -1,0 +1,378 @@
+// Package predicate compiles WHERE/DERIVE expressions of the CAESAR
+// language into efficiently evaluable closures, and analyzes
+// predicates at compile time: conjunct splitting for incremental
+// pattern matching, and threshold subsumption for context window
+// bound ordering (paper §3.3 Def. 2, §5.3).
+package predicate
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+// Env is the variable environment an expression is compiled against:
+// the pattern variables of a query in pattern order. Bare attribute
+// references resolve against the unique variable that has the
+// attribute; ambiguity is a compile error.
+type Env struct {
+	names   []string
+	schemas []*event.Schema
+}
+
+// NewEnv builds an environment. Variable names must be unique and
+// non-empty.
+func NewEnv() *Env { return &Env{} }
+
+// Add appends a variable binding and returns its index.
+func (e *Env) Add(name string, s *event.Schema) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("predicate: empty variable name")
+	}
+	for _, n := range e.names {
+		if n == name {
+			return 0, fmt.Errorf("predicate: duplicate pattern variable %q", name)
+		}
+	}
+	e.names = append(e.names, name)
+	e.schemas = append(e.schemas, s)
+	return len(e.names) - 1, nil
+}
+
+// Len returns the number of variables.
+func (e *Env) Len() int { return len(e.names) }
+
+// Name returns the i-th variable name.
+func (e *Env) Name(i int) string { return e.names[i] }
+
+// Schema returns the i-th variable schema.
+func (e *Env) Schema(i int) *event.Schema { return e.schemas[i] }
+
+// index returns the slot of a named variable, or -1.
+func (e *Env) index(name string) int {
+	for i, n := range e.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// VarSet is a bitmask over environment variable slots (max 64
+// pattern variables per query, far beyond any realistic pattern).
+type VarSet uint64
+
+// Has reports whether slot i is in the set.
+func (s VarSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// With returns the set with slot i added.
+func (s VarSet) With(i int) VarSet { return s | (1 << uint(i)) }
+
+// SubsetOf reports whether every slot of s is in t.
+func (s VarSet) SubsetOf(t VarSet) bool { return s&^t == 0 }
+
+// Count returns the number of slots in the set.
+func (s VarSet) Count() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Compiled is an expression compiled against an Env. Eval is
+// allocation-free on the hot path.
+type Compiled struct {
+	root node
+	kind event.Kind
+	vars VarSet
+	src  string
+}
+
+// Kind returns the statically inferred result kind.
+func (c *Compiled) Kind() event.Kind { return c.kind }
+
+// Vars returns the set of environment slots the expression reads.
+func (c *Compiled) Vars() VarSet { return c.vars }
+
+// String returns the source rendering of the compiled expression.
+func (c *Compiled) String() string { return c.src }
+
+// Eval evaluates against a binding: binding[i] is the event bound to
+// environment slot i. Slots the expression does not read may be nil.
+func (c *Compiled) Eval(binding []*event.Event) event.Value {
+	return c.root.eval(binding)
+}
+
+// EvalBool evaluates a boolean expression.
+func (c *Compiled) EvalBool(binding []*event.Event) bool {
+	return c.root.eval(binding).AsBool()
+}
+
+// node is a compiled expression node.
+type node interface {
+	eval(binding []*event.Event) event.Value
+}
+
+type constNode struct{ v event.Value }
+
+func (n constNode) eval([]*event.Event) event.Value { return n.v }
+
+type attrNode struct {
+	slot  int
+	field int
+}
+
+func (n attrNode) eval(b []*event.Event) event.Value { return b[n.slot].At(n.field) }
+
+type negNode struct{ x node }
+
+func (n negNode) eval(b []*event.Event) event.Value {
+	v := n.x.eval(b)
+	switch v.Kind {
+	case event.KindInt:
+		return event.Int64(-v.Int)
+	case event.KindFloat:
+		return event.Float64(-v.Float)
+	default:
+		return event.Value{}
+	}
+}
+
+type binNode struct {
+	op   lang.Op
+	l, r node
+}
+
+func (n binNode) eval(b []*event.Event) event.Value {
+	switch n.op {
+	case lang.OpAnd:
+		// Short-circuit: right side is skipped when left is false.
+		if !n.l.eval(b).AsBool() {
+			return event.Bool(false)
+		}
+		return event.Bool(n.r.eval(b).AsBool())
+	case lang.OpOr:
+		if n.l.eval(b).AsBool() {
+			return event.Bool(true)
+		}
+		return event.Bool(n.r.eval(b).AsBool())
+	}
+	l, r := n.l.eval(b), n.r.eval(b)
+	switch n.op {
+	case lang.OpEq:
+		return event.Bool(l.Equal(r))
+	case lang.OpNeq:
+		return event.Bool(!l.Equal(r))
+	case lang.OpLt, lang.OpLeq, lang.OpGt, lang.OpGeq:
+		cmp, ok := l.Compare(r)
+		if !ok {
+			return event.Bool(false)
+		}
+		switch n.op {
+		case lang.OpLt:
+			return event.Bool(cmp < 0)
+		case lang.OpLeq:
+			return event.Bool(cmp <= 0)
+		case lang.OpGt:
+			return event.Bool(cmp > 0)
+		default:
+			return event.Bool(cmp >= 0)
+		}
+	case lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpDiv:
+		return arith(n.op, l, r)
+	default:
+		return event.Value{}
+	}
+}
+
+// arith performs numeric arithmetic. Two integers yield an integer
+// (with Go integer division); any float operand widens to float.
+// Division by zero yields the invalid Value, which is falsy and never
+// equal to anything, so predicates containing it are simply
+// unsatisfied rather than crashing the stream.
+func arith(op lang.Op, l, r event.Value) event.Value {
+	if !l.Numeric() || !r.Numeric() {
+		return event.Value{}
+	}
+	if l.Kind == event.KindInt && r.Kind == event.KindInt {
+		switch op {
+		case lang.OpAdd:
+			return event.Int64(l.Int + r.Int)
+		case lang.OpSub:
+			return event.Int64(l.Int - r.Int)
+		case lang.OpMul:
+			return event.Int64(l.Int * r.Int)
+		case lang.OpDiv:
+			if r.Int == 0 {
+				return event.Value{}
+			}
+			return event.Int64(l.Int / r.Int)
+		}
+	}
+	a, b := l.AsFloat(), r.AsFloat()
+	switch op {
+	case lang.OpAdd:
+		return event.Float64(a + b)
+	case lang.OpSub:
+		return event.Float64(a - b)
+	case lang.OpMul:
+		return event.Float64(a * b)
+	case lang.OpDiv:
+		if b == 0 {
+			return event.Value{}
+		}
+		return event.Float64(a / b)
+	}
+	return event.Value{}
+}
+
+// Compile type-checks and compiles an expression against env.
+func Compile(e lang.Expr, env *Env) (*Compiled, error) {
+	n, kind, vars, err := compileNode(e, env)
+	if err != nil {
+		return nil, err
+	}
+	return &Compiled{root: n, kind: kind, vars: vars, src: e.String()}, nil
+}
+
+// CompileBool compiles an expression that must be boolean (a WHERE
+// clause).
+func CompileBool(e lang.Expr, env *Env) (*Compiled, error) {
+	c, err := Compile(e, env)
+	if err != nil {
+		return nil, err
+	}
+	if c.kind != event.KindBool {
+		return nil, fmt.Errorf("predicate: %s: WHERE expression must be boolean, got %s", e.ExprPos(), c.kind)
+	}
+	return c, nil
+}
+
+func compileNode(e lang.Expr, env *Env) (node, event.Kind, VarSet, error) {
+	switch x := e.(type) {
+	case *lang.ConstExpr:
+		return constNode{v: x.Val}, x.Val.Kind, 0, nil
+	case *lang.AttrRef:
+		slot, field, kind, err := resolveAttr(x, env)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return attrNode{slot: slot, field: field}, kind, VarSet(0).With(slot), nil
+	case *lang.UnaryExpr:
+		n, kind, vars, err := compileNode(x.X, env)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if kind != event.KindInt && kind != event.KindFloat {
+			return nil, 0, 0, fmt.Errorf("predicate: %s: unary minus needs numeric operand, got %s", x.Pos, kind)
+		}
+		return negNode{x: n}, kind, vars, nil
+	case *lang.BinaryExpr:
+		l, lk, lv, err := compileNode(x.L, env)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		r, rk, rv, err := compileNode(x.R, env)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		kind, err := resultKind(x, lk, rk)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return binNode{op: x.Op, l: l, r: r}, kind, lv | rv, nil
+	case *lang.CallExpr:
+		return nil, 0, 0, fmt.Errorf("predicate: %s: aggregate %s() is only allowed in the DERIVE arguments of a TUMBLE query", x.Pos, x.Fn)
+	default:
+		return nil, 0, 0, fmt.Errorf("predicate: unknown expression node %T", e)
+	}
+}
+
+func resultKind(x *lang.BinaryExpr, lk, rk event.Kind) (event.Kind, error) {
+	numeric := func(k event.Kind) bool { return k == event.KindInt || k == event.KindFloat }
+	switch {
+	case x.Op.Logical():
+		if lk != event.KindBool || rk != event.KindBool {
+			return 0, fmt.Errorf("predicate: %s: %s needs boolean operands, got %s and %s", x.Pos, x.Op, lk, rk)
+		}
+		return event.KindBool, nil
+	case x.Op.Comparison():
+		comparable := (numeric(lk) && numeric(rk)) || (lk == rk)
+		if !comparable {
+			return 0, fmt.Errorf("predicate: %s: cannot compare %s with %s", x.Pos, lk, rk)
+		}
+		if (lk == event.KindString || lk == event.KindBool) && x.Op != lang.OpEq && x.Op != lang.OpNeq && lk != rk {
+			return 0, fmt.Errorf("predicate: %s: cannot order %s with %s", x.Pos, lk, rk)
+		}
+		return event.KindBool, nil
+	default: // arithmetic
+		if !numeric(lk) || !numeric(rk) {
+			return 0, fmt.Errorf("predicate: %s: %s needs numeric operands, got %s and %s", x.Pos, x.Op, lk, rk)
+		}
+		if lk == event.KindFloat || rk == event.KindFloat {
+			return event.KindFloat, nil
+		}
+		return event.KindInt, nil
+	}
+}
+
+func resolveAttr(x *lang.AttrRef, env *Env) (slot, field int, kind event.Kind, err error) {
+	if x.Var != "" {
+		slot = env.index(x.Var)
+		if slot < 0 {
+			return 0, 0, 0, fmt.Errorf("predicate: %s: unknown pattern variable %q", x.Pos, x.Var)
+		}
+		s := env.Schema(slot)
+		field = s.FieldIndex(x.Attr)
+		if field < 0 {
+			return 0, 0, 0, fmt.Errorf("predicate: %s: event type %s has no attribute %q", x.Pos, s.Name(), x.Attr)
+		}
+		return slot, field, s.Field(field).Kind, nil
+	}
+	// Bare attribute: resolve against the unique variable having it.
+	found := -1
+	for i := 0; i < env.Len(); i++ {
+		if env.Schema(i).FieldIndex(x.Attr) >= 0 {
+			if found >= 0 {
+				return 0, 0, 0, fmt.Errorf("predicate: %s: attribute %q is ambiguous (use var.attr)", x.Pos, x.Attr)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return 0, 0, 0, fmt.Errorf("predicate: %s: no pattern variable has attribute %q", x.Pos, x.Attr)
+	}
+	s := env.Schema(found)
+	field = s.FieldIndex(x.Attr)
+	return found, field, s.Field(field).Kind, nil
+}
+
+// FreeVars returns the names of the pattern variables an expression
+// references, sorted. Bare attribute references contribute no names.
+func FreeVars(e lang.Expr) []string {
+	set := map[string]bool{}
+	var walk func(lang.Expr)
+	walk = func(e lang.Expr) {
+		switch x := e.(type) {
+		case *lang.AttrRef:
+			if x.Var != "" {
+				set[x.Var] = true
+			}
+		case *lang.UnaryExpr:
+			walk(x.X)
+		case *lang.BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	walk(e)
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

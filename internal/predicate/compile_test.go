@@ -1,0 +1,308 @@
+package predicate
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+var (
+	prSchema = event.MustSchema("PositionReport",
+		event.Field{Name: "vid", Kind: event.KindInt},
+		event.Field{Name: "seg", Kind: event.KindInt},
+		event.Field{Name: "speed", Kind: event.KindFloat},
+		event.Field{Name: "lane", Kind: event.KindString},
+		event.Field{Name: "sec", Kind: event.KindInt},
+	)
+	statSchema = event.MustSchema("SegStat",
+		event.Field{Name: "cnt", Kind: event.KindInt},
+		event.Field{Name: "avg", Kind: event.KindFloat},
+		event.Field{Name: "busy", Kind: event.KindBool},
+	)
+)
+
+func env2(t *testing.T) *Env {
+	t.Helper()
+	env := NewEnv()
+	if _, err := env.Add("p1", prSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Add("p2", prSchema); err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func pr(t event.Time, vid, seg int64, speed float64, lane string) *event.Event {
+	return event.MustNew(prSchema, t,
+		event.Int64(vid), event.Int64(seg), event.Float64(speed),
+		event.String(lane), event.Int64(int64(t)))
+}
+
+func mustCompile(t *testing.T, src string, env *Env) *Compiled {
+	t.Helper()
+	e, err := lang.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(e, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestEnvValidation(t *testing.T) {
+	env := NewEnv()
+	if _, err := env.Add("", prSchema); err == nil {
+		t.Error("empty variable name accepted")
+	}
+	if _, err := env.Add("p", prSchema); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Add("p", prSchema); err == nil {
+		t.Error("duplicate variable accepted")
+	}
+	if env.Len() != 1 || env.Name(0) != "p" || env.Schema(0) != prSchema {
+		t.Error("accessors broken")
+	}
+}
+
+func TestEvalComparisonsAndJoins(t *testing.T) {
+	env := env2(t)
+	a := pr(30, 7, 3, 55, "travel")
+	b := pr(60, 7, 3, 50, "exit")
+	c := mustCompile(t, "p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 'exit'", env)
+	if c.EvalBool([]*event.Event{a, b}) {
+		t.Error("exit lane should fail the predicate")
+	}
+	b2 := pr(60, 7, 3, 50, "travel")
+	if !c.EvalBool([]*event.Event{a, b2}) {
+		t.Error("matching pair should pass")
+	}
+	b3 := pr(61, 7, 3, 50, "travel")
+	if c.EvalBool([]*event.Event{a, b3}) {
+		t.Error("sec+30 mismatch should fail")
+	}
+	if c.Vars() != VarSet(0).With(0).With(1) {
+		t.Errorf("Vars = %b", c.Vars())
+	}
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	env := NewEnv()
+	env.Add("p", prSchema)
+	e := pr(10, 6, 2, 45.5, "travel")
+	cases := []struct {
+		src  string
+		want event.Value
+	}{
+		{"p.vid + 1", event.Int64(7)},
+		{"p.vid - 10", event.Int64(-4)},
+		{"p.vid * p.seg", event.Int64(12)},
+		{"p.vid / p.seg", event.Int64(3)},
+		{"p.speed * 2", event.Float64(91)},
+		{"p.vid + p.speed", event.Float64(51.5)},
+		{"-p.vid", event.Int64(-6)},
+		{"-p.speed", event.Float64(-45.5)},
+		{"7 / 2", event.Int64(3)},
+		{"7.0 / 2", event.Float64(3.5)},
+	}
+	for _, tc := range cases {
+		c := mustCompile(t, tc.src, env)
+		got := c.Eval([]*event.Event{e})
+		if !got.Equal(tc.want) || got.Kind != tc.want.Kind {
+			t.Errorf("%s = %#v, want %#v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsUnsatisfied(t *testing.T) {
+	env := NewEnv()
+	env.Add("p", prSchema)
+	e := pr(10, 6, 0, 0, "travel")
+	c := mustCompile(t, "p.vid / p.seg = 3", env)
+	if c.EvalBool([]*event.Event{e}) {
+		t.Error("division by zero must not satisfy a predicate")
+	}
+	cf := mustCompile(t, "p.speed / p.seg > 0", env)
+	if cf.EvalBool([]*event.Event{e}) {
+		t.Error("float division by zero must not satisfy a predicate")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// p.seg = 0, so the division in the right conjunct would be
+	// invalid; short-circuiting must prevent it from mattering.
+	env := NewEnv()
+	env.Add("p", prSchema)
+	e := pr(10, 6, 0, 0, "x")
+	c := mustCompile(t, "p.seg > 0 AND p.vid / p.seg = 1", env)
+	if c.EvalBool([]*event.Event{e}) {
+		t.Error("false AND ... must be false")
+	}
+	c2 := mustCompile(t, "p.seg = 0 OR p.vid / p.seg = 1", env)
+	if !c2.EvalBool([]*event.Event{e}) {
+		t.Error("true OR ... must be true")
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	env := env2(t)
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"p9.vid = 1", "unknown pattern variable"},
+		{"p1.nope = 1", "no attribute"},
+		{"p1.lane + 1 = 2", "numeric operands"},
+		{"p1.lane AND p2.lane", "boolean operands"},
+		{"p1.vid = p2.lane", "cannot compare"},
+		{"-p1.lane = 'x'", "numeric operand"},
+		{"vid = 1", "ambiguous"},
+		{"nothere = 1", "no pattern variable has attribute"},
+	}
+	for _, tc := range cases {
+		e, err := lang.ParseExpr(tc.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tc.src, err)
+		}
+		if _, err := Compile(e, env); err == nil {
+			t.Errorf("%s: compile accepted", tc.src)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q missing %q", tc.src, err, tc.wantSub)
+		}
+	}
+}
+
+func TestCompileBoolRejectsNonBool(t *testing.T) {
+	env := env2(t)
+	e, _ := lang.ParseExpr("p1.vid + 1")
+	if _, err := CompileBool(e, env); err == nil {
+		t.Error("numeric WHERE accepted")
+	}
+	e2, _ := lang.ParseExpr("p1.vid > 1")
+	if _, err := CompileBool(e2, env); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBareAttributeResolution(t *testing.T) {
+	env := NewEnv()
+	env.Add("p", prSchema)
+	env.Add("s", statSchema)
+	// "cnt" exists only on SegStat, "vid" only on PositionReport:
+	// both resolve despite two variables being in scope.
+	c := mustCompile(t, "cnt > 2 AND vid = 7", env)
+	p := pr(10, 7, 1, 10, "x")
+	s := event.MustNew(statSchema, 10, event.Int64(3), event.Float64(1), event.Bool(true))
+	if !c.EvalBool([]*event.Event{p, s}) {
+		t.Error("bare attributes misresolved")
+	}
+}
+
+func TestBoolFieldComparison(t *testing.T) {
+	env := NewEnv()
+	env.Add("s", statSchema)
+	s := event.MustNew(statSchema, 10, event.Int64(3), event.Float64(1), event.Bool(true))
+	c := mustCompile(t, "s.busy = true", env)
+	if !c.EvalBool([]*event.Event{s}) {
+		t.Error("bool equality failed")
+	}
+	c2 := mustCompile(t, "s.busy != false", env)
+	if !c2.EvalBool([]*event.Event{s}) {
+		t.Error("bool inequality failed")
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	e, _ := lang.ParseExpr("p2.sec = p1.sec + 30 AND seg > 1 AND p1.vid = 1")
+	got := FreeVars(e)
+	if len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Errorf("FreeVars = %v", got)
+	}
+	if vs := FreeVars(&lang.ConstExpr{Val: event.Int64(1)}); len(vs) != 0 {
+		t.Error("const has free vars")
+	}
+}
+
+// TestEvalMatchesDirectInterpretation is the property test comparing
+// the compiled evaluator against a trivial reference interpreter on
+// randomly generated comparison predicates.
+func TestEvalMatchesDirectInterpretation(t *testing.T) {
+	env := NewEnv()
+	env.Add("p", prSchema)
+	f := func(vid, seg int16, speed float64, thr int16, pick uint8) bool {
+		ops := []string{"=", "!=", "<", "<=", ">", ">="}
+		op := ops[int(pick)%len(ops)]
+		src := "p.vid " + op + " " + itoa(int64(thr))
+		e, err := lang.ParseExpr(src)
+		if err != nil {
+			return false
+		}
+		c, err := Compile(e, env)
+		if err != nil {
+			return false
+		}
+		ev := pr(1, int64(vid), int64(seg), speed, "l")
+		got := c.EvalBool([]*event.Event{ev})
+		var want bool
+		a, b := int64(vid), int64(thr)
+		switch op {
+		case "=":
+			want = a == b
+		case "!=":
+			want = a != b
+		case "<":
+			want = a < b
+		case "<=":
+			want = a <= b
+		case ">":
+			want = a > b
+		case ">=":
+			want = a >= b
+		}
+		return got == want
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(n int64) string {
+	if n < 0 {
+		return "0 - " + itoa(-n) // parser has no negative literals in all positions; build via subtraction
+	}
+	digits := "0123456789"
+	if n < 10 {
+		return string(digits[n])
+	}
+	return itoa(n/10) + string(digits[n%10])
+}
+
+func BenchmarkEvalConjunction(b *testing.B) {
+	env := NewEnv()
+	env.Add("p1", prSchema)
+	env.Add("p2", prSchema)
+	e, err := lang.ParseExpr("p1.sec + 30 = p2.sec AND p1.vid = p2.vid AND p2.lane != 'exit'")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Compile(e, env)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := pr(30, 7, 3, 55, "travel")
+	bb := pr(60, 7, 3, 50, "travel")
+	binding := []*event.Event{a, bb}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !c.EvalBool(binding) {
+			b.Fatal("predicate false")
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package runtime is the CAESAR execution infrastructure (paper §6):
+// the event distributor, per-partition event queues, the time-driven
+// scheduler forming stream transactions, the context-aware stream
+// router that suspends irrelevant query plans, per-partition context
+// bit vectors, context history management and garbage collection.
+//
+// # Execution model
+//
+// The input stream arrives in application-time order. The distributor
+// groups events with equal timestamps into ticks; within a tick,
+// events are partitioned (by the configured key attributes — one
+// unidirectional road segment in the traffic use case) into stream
+// transactions. Transactions of the same partition always execute on
+// the same worker in timestamp order, which is exactly the
+// correctness condition of §6.2: conflicting operations on shared
+// context data are processed sorted by time stamps. Partitions are
+// independent, so different partitions proceed concurrently without
+// a global barrier.
+//
+// Within a transaction, every query observes the pre-transaction
+// context window set; transitions derived during the transaction are
+// applied at its end. This realizes the (t_i, t_t] window semantics
+// of Def. 1 and makes context processing at time t depend only on
+// context derivation at times < t.
+package runtime
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/metrics"
+	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/optimizer"
+	"github.com/caesar-cep/caesar/internal/plan"
+)
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// ContextAware is the CAESAR strategy: the stream router feeds a
+	// query plan only while its context window holds; all other plans
+	// are suspended (§6.2).
+	ContextAware Mode = iota
+	// ContextIndependent is the state-of-the-art baseline (§7.3):
+	// every query runs on every event, and every context processing
+	// query privately re-derives the contexts it depends on.
+	ContextIndependent
+)
+
+func (m Mode) String() string {
+	if m == ContextAware {
+		return "context-aware"
+	}
+	return "context-independent"
+}
+
+// Config configures an Engine.
+type Config struct {
+	Plan *plan.Plan
+	Mode Mode
+	// Sharing enables context workload sharing (§5.3): equivalent
+	// queries from overlapping contexts execute as one instance.
+	// Context-aware mode only.
+	Sharing bool
+	// Fusion enables pattern fusion (the §5.3 MQO step): DERIVE
+	// queries with identical pattern, filters, horizon and context
+	// mask evaluate one shared pattern with multiple projection
+	// heads. Context-aware mode only.
+	Fusion bool
+	// PartitionBy names the attributes forming the stream partition
+	// key (e.g. xway, dir, seg). Events missing all key attributes
+	// fall into every partition's input? No — they land in partition
+	// "·", a dedicated control partition.
+	PartitionBy []string
+	// Workers is the worker pool size; 0 means 4.
+	Workers int
+	// Pacing, when positive, replays the stream in real time: one
+	// application time unit lasts Pacing of wall time. Zero feeds the
+	// stream as fast as possible, so maximal latency measures CPU
+	// backlog (the paper's win-ratio configuration).
+	Pacing time.Duration
+	// CollectOutputs retains all derived events in Stats.Outputs.
+	CollectOutputs bool
+	// OnOutput, when set, is invoked for every derived output event.
+	// It is called concurrently from worker goroutines.
+	OnOutput func(*event.Event)
+}
+
+// Stats reports a run's measurements.
+type Stats struct {
+	Events      uint64
+	Ticks       uint64
+	Txns        uint64
+	OutputCount uint64
+	Transitions uint64
+	// SuspendedSkips counts plan executions avoided because the
+	// plan's context window did not hold (the router's saving).
+	SuspendedSkips uint64
+	// InstanceExecs counts plan executions performed.
+	InstanceExecs uint64
+	// EventsFed counts events delivered to active plan instances
+	// (instance executions weighted by batch size) — the
+	// machine-independent proxy for processing effort.
+	EventsFed uint64
+	// HistoryResets counts context history discards (window closures).
+	HistoryResets uint64
+	Partitions    int
+	MaxLatency    time.Duration
+	MeanLatency   time.Duration
+	WallTime      time.Duration
+	// PerType counts outputs by event type.
+	PerType map[string]uint64
+	// Outputs holds the derived events, sorted by occurrence end
+	// time then rendering (only with Config.CollectOutputs).
+	Outputs []*event.Event
+}
+
+// Engine executes a plan over event streams.
+type Engine struct {
+	cfg    Config
+	groups []groupSpec
+	m      *model.Model
+}
+
+// execUnit is one instantiable query plan with its effective context
+// mask and whether its derived events count as engine output. A
+// non-nil fused list carries the member queries whose projection
+// heads share this unit's pattern.
+type execUnit struct {
+	qp       *plan.QueryPlan
+	mask     uint64
+	countOut bool
+	fused    []*model.Query
+}
+
+// groupSpec describes one context-vector scope: context-aware mode
+// has a single group; the context-independent baseline has one group
+// per sink query, each privately re-deriving contexts (§7.3).
+type groupSpec struct {
+	units []execUnit
+}
+
+// New validates the configuration and builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Plan == nil {
+		return nil, fmt.Errorf("runtime: nil plan")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("runtime: negative worker count")
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Mode == ContextIndependent && cfg.Plan.Opts.PushDown {
+		return nil, fmt.Errorf("runtime: context-independent mode requires a non-pushed-down plan (plan.NonOptimized())")
+	}
+	if cfg.Mode == ContextIndependent && (cfg.Sharing || cfg.Fusion) {
+		return nil, fmt.Errorf("runtime: workload sharing and fusion apply to context-aware mode only")
+	}
+	e := &Engine{cfg: cfg, m: cfg.Plan.Model}
+	var err error
+	e.groups, err = buildGroups(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func buildGroups(cfg Config) ([]groupSpec, error) {
+	p := cfg.Plan
+	byID := make(map[int]*plan.QueryPlan, len(p.Queries))
+	var order []*model.Query
+	for _, qp := range p.Queries {
+		byID[qp.Query.ID] = qp
+		order = append(order, qp.Query)
+	}
+
+	if cfg.Mode == ContextAware {
+		var shared []optimizer.SharedQuery
+		if cfg.Sharing {
+			shared = optimizer.ShareWorkload(order)
+		} else {
+			shared = optimizer.NonShared(order)
+		}
+		g := groupSpec{}
+		if cfg.Fusion {
+			for _, f := range optimizer.FusePatterns(shared) {
+				u := execUnit{
+					qp:       byID[f.Leader.ID],
+					mask:     f.Mask,
+					countOut: !f.Leader.IsWindowQuery(),
+				}
+				if len(f.Members) > 1 {
+					u.fused = f.Members
+				}
+				g.units = append(g.units, u)
+			}
+			return []groupSpec{g}, nil
+		}
+		for _, sq := range shared {
+			g.units = append(g.units, execUnit{
+				qp:       byID[sq.Query.ID],
+				mask:     sq.Mask,
+				countOut: !sq.Query.IsWindowQuery(),
+			})
+		}
+		return []groupSpec{g}, nil
+	}
+
+	// Context-independent: one group per sink (derive query), each
+	// containing every window query with its producer closure plus
+	// the sink's own producer closure — the paper's "each context
+	// processing query has to run its respective context deriving
+	// queries separately" (§5.3).
+	m := p.Model
+	var groups []groupSpec
+	for _, sink := range order {
+		if sink.IsWindowQuery() {
+			continue
+		}
+		members := map[int]bool{}
+		var add func(q *model.Query)
+		add = func(q *model.Query) {
+			if members[q.ID] {
+				return
+			}
+			members[q.ID] = true
+			for _, s := range q.Pattern.Steps {
+				for _, prod := range m.DerivedBy(s.Schema.Name()) {
+					add(prod)
+				}
+			}
+		}
+		add(sink)
+		for _, q := range order {
+			if q.IsWindowQuery() {
+				add(q)
+			}
+		}
+		g := groupSpec{}
+		for _, q := range order { // topo order preserved
+			if !members[q.ID] {
+				continue
+			}
+			g.units = append(g.units, execUnit{
+				qp:       byID[q.ID],
+				mask:     q.Mask,
+				countOut: q.ID == sink.ID,
+			})
+		}
+		groups = append(groups, g)
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("runtime: context-independent mode needs at least one DERIVE query")
+	}
+	return groups, nil
+}
+
+// Groups reports the number of execution groups and total instances
+// per partition; the experiment harness uses it to explain costs.
+func (e *Engine) Groups() (groups, instances int) {
+	for _, g := range e.groups {
+		instances += len(g.units)
+	}
+	return len(e.groups), instances
+}
+
+// partitionKey renders the partition key of an event. Events with
+// none of the key attributes land in the control partition "·" —
+// they are typically global context triggers.
+func (e *Engine) partitionKey(ev *event.Event) string {
+	if len(e.cfg.PartitionBy) == 0 {
+		return "·"
+	}
+	var b strings.Builder
+	found := false
+	for _, attr := range e.cfg.PartitionBy {
+		v, ok := ev.Get(attr)
+		if ok {
+			found = true
+			b.WriteString(v.String())
+		}
+		b.WriteByte('|')
+	}
+	if !found {
+		return "·"
+	}
+	return b.String()
+}
+
+type txnMsg struct {
+	key   string
+	ts    event.Time
+	batch []*event.Event
+}
+
+// Run executes the engine over a source until exhaustion and returns
+// the run's statistics. Engines are single-run: partition state is
+// rebuilt on each call.
+func (e *Engine) Run(src event.Source) (*Stats, error) {
+	start := time.Now()
+	workers := make([]*worker, e.cfg.Workers)
+	var wg sync.WaitGroup
+	for i := range workers {
+		workers[i] = newWorker(e)
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.loop()
+		}(workers[i])
+	}
+
+	var totalEvents, ticks uint64
+	var appStart event.Time
+	appStartSet := false
+
+	dispatchTick := func(ts event.Time, evs []*event.Event) {
+		ticks++
+		if e.cfg.Pacing > 0 {
+			if !appStartSet {
+				appStart, appStartSet = ts, true
+			}
+			target := start.Add(time.Duration(ts-appStart) * e.cfg.Pacing)
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		arrival := time.Now().UnixNano()
+		byPart := map[string][]*event.Event{}
+		for _, ev := range evs {
+			ev.Arrival = arrival
+			k := e.partitionKey(ev)
+			byPart[k] = append(byPart[k], ev)
+		}
+		keys := make([]string, 0, len(byPart))
+		for k := range byPart {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			w := workers[hashKey(k)%uint32(len(workers))]
+			w.ch <- txnMsg{key: k, ts: ts, batch: byPart[k]}
+		}
+	}
+
+	var tick []*event.Event
+	var curTS event.Time
+	var orderErr error
+	for ev := src.Next(); ev != nil; ev = src.Next() {
+		totalEvents++
+		ts := ev.End()
+		if ts < curTS {
+			// Events must arrive in-order by time stamp (§6.2);
+			// processing a late event would corrupt context
+			// derivation, so the run aborts.
+			orderErr = fmt.Errorf("runtime: out-of-order event %v after t=%d", ev, curTS)
+			break
+		}
+		if len(tick) > 0 && ts != curTS {
+			dispatchTick(curTS, tick)
+			tick = tick[:0]
+		}
+		curTS = ts
+		tick = append(tick, ev)
+	}
+	if orderErr == nil && len(tick) > 0 {
+		dispatchTick(curTS, tick)
+	}
+	for _, w := range workers {
+		close(w.ch)
+	}
+	wg.Wait()
+
+	if orderErr != nil {
+		return nil, orderErr
+	}
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		if err := errSrc.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return e.collect(workers, totalEvents, ticks, time.Since(start)), nil
+}
+
+func (e *Engine) collect(workers []*worker, events, ticks uint64, wall time.Duration) *Stats {
+	st := &Stats{
+		Events:   events,
+		Ticks:    ticks,
+		WallTime: wall,
+		PerType:  map[string]uint64{},
+	}
+	var lat metrics.LatencyTracker
+	for _, w := range workers {
+		st.Txns += w.txns
+		st.OutputCount += w.outputs
+		st.Transitions += w.transitions
+		st.SuspendedSkips += w.suspendedSkips
+		st.InstanceExecs += w.instanceExecs
+		st.EventsFed += w.eventsFed
+		st.HistoryResets += w.historyResets
+		st.Partitions += len(w.parts)
+		for ty, n := range w.perType {
+			st.PerType[ty] += n
+		}
+		if w.lat.Count() > 0 {
+			lat.Observe(w.lat.Max())
+		}
+		st.MeanLatency += time.Duration(int64(w.lat.Mean()) * w.lat.Count())
+		if e.cfg.CollectOutputs {
+			st.Outputs = append(st.Outputs, w.collected...)
+		}
+	}
+	if n := int64(0); true {
+		for _, w := range workers {
+			n += w.lat.Count()
+		}
+		if n > 0 {
+			st.MeanLatency /= time.Duration(n)
+		} else {
+			st.MeanLatency = 0
+		}
+	}
+	st.MaxLatency = lat.Max()
+	if e.cfg.CollectOutputs {
+		sort.SliceStable(st.Outputs, func(i, j int) bool {
+			a, b := st.Outputs[i], st.Outputs[j]
+			if a.Time.End != b.Time.End {
+				return a.Time.End < b.Time.End
+			}
+			return a.String() < b.String()
+		})
+	}
+	return st
+}
+
+func hashKey(k string) uint32 {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(k))
+	return h.Sum32()
+}

@@ -1,0 +1,186 @@
+package runtime
+
+import (
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/algebra"
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/metrics"
+	"github.com/caesar-cep/caesar/internal/plan"
+)
+
+// worker owns a disjoint set of stream partitions and executes their
+// transactions sequentially in timestamp order. All partition state —
+// context vectors, operator state (context history), group structure —
+// is confined to its goroutine; no locks are needed (§6.2's scheduler
+// correctness reduces to per-partition FIFO).
+type worker struct {
+	eng   *Engine
+	ch    chan txnMsg
+	parts map[string]*partitionState
+
+	// Counters, merged by the engine after the run.
+	txns           uint64
+	outputs        uint64
+	transitions    uint64
+	suspendedSkips uint64
+	instanceExecs  uint64
+	eventsFed      uint64
+	historyResets  uint64
+	perType        map[string]uint64
+	lat            metrics.LatencyTracker
+	collected      []*event.Event
+}
+
+func newWorker(e *Engine) *worker {
+	return &worker{
+		eng:     e,
+		ch:      make(chan txnMsg, 256),
+		parts:   map[string]*partitionState{},
+		perType: map[string]uint64{},
+	}
+}
+
+func (w *worker) loop() {
+	for msg := range w.ch {
+		ps := w.parts[msg.key]
+		if ps == nil {
+			ps = w.newPartition(msg.key)
+			w.parts[msg.key] = ps
+		}
+		w.txns++
+		ps.exec(w, msg.ts, msg.batch)
+	}
+}
+
+// partitionState is the per-partition slice of the storage layer
+// (Fig. 8): the context windows (bit vector per group), the query
+// plan instances holding context history, and scratch buffers.
+type partitionState struct {
+	key    string
+	groups []*execGroup
+}
+
+// execGroup is one context-vector scope instantiated for a
+// partition.
+type execGroup struct {
+	vec      *algebra.Vector
+	insts    []*instanceState
+	transBuf []algebra.Transition
+	derived  []*event.Event
+}
+
+type instanceState struct {
+	inst      *plan.Instance
+	countOut  bool
+	wasActive bool
+}
+
+func (w *worker) newPartition(key string) *partitionState {
+	ps := &partitionState{key: key}
+	defIdx := w.eng.m.Default.Index
+	for _, gs := range w.eng.groups {
+		vec := algebra.NewVector(defIdx)
+		g := &execGroup{vec: vec}
+		for _, u := range gs.units {
+			var in *plan.Instance
+			var err error
+			if u.fused != nil {
+				in, err = u.qp.NewFusedInstance(vec, u.mask, u.fused)
+			} else {
+				in, err = u.qp.NewInstance(vec, u.mask)
+			}
+			if err != nil {
+				// Instantiation is validated at plan build time; a
+				// failure here is a programming error.
+				panic(err)
+			}
+			g.insts = append(g.insts, &instanceState{
+				inst:      in,
+				countOut:  u.countOut,
+				wasActive: in.Active(),
+			})
+		}
+		ps.groups = append(ps.groups, g)
+	}
+	return ps
+}
+
+// exec runs one stream transaction: route the batch through every
+// group, chain derived events to downstream instances within the
+// transaction, apply transitions at the end, and discard context
+// history of plans whose windows closed.
+func (ps *partitionState) exec(w *worker, now event.Time, batch []*event.Event) {
+	for _, g := range ps.groups {
+		g.exec(w, now, batch)
+	}
+}
+
+func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
+	pool := batch
+	pooled := false
+	trans := g.transBuf[:0]
+	for _, is := range g.insts {
+		// The context-aware stream router: suspended plans receive no
+		// input at all (§6.2). The check is one bit-mask test.
+		if !is.inst.Active() {
+			w.suspendedSkips++
+			continue
+		}
+		w.instanceExecs++
+		w.eventsFed += uint64(len(pool))
+		derived := g.derived[:0]
+		derived, trans = is.inst.Exec(now, pool, derived, trans)
+		g.derived = derived[:0]
+		if len(derived) == 0 {
+			continue
+		}
+		// Derived events join the transaction's event pool so that
+		// downstream plans of the combined query plan consume them
+		// within the same transaction (§4.2 phase 2).
+		if !pooled {
+			pool = append(append(make([]*event.Event, 0, len(batch)+len(derived)), batch...), derived...)
+			pooled = true
+		} else {
+			pool = append(pool, derived...)
+		}
+		if is.countOut {
+			w.emit(derived)
+		}
+	}
+	if len(trans) > 0 {
+		defIdx := w.eng.m.Default.Index
+		for _, tr := range trans {
+			g.vec.Apply(tr, defIdx)
+			w.transitions++
+		}
+		// Garbage collection of context history (§6.2): a plan whose
+		// window set just closed discards its partial matches.
+		for _, is := range g.insts {
+			active := is.inst.Active()
+			if is.wasActive && !active {
+				is.inst.Reset()
+				w.historyResets++
+			}
+			is.wasActive = active
+		}
+	}
+	g.transBuf = trans[:0]
+}
+
+func (w *worker) emit(events []*event.Event) {
+	wall := time.Now().UnixNano()
+	for _, e := range events {
+		w.outputs++
+		w.perType[e.TypeName()]++
+		if e.Arrival > 0 {
+			w.lat.Observe(time.Duration(wall - e.Arrival))
+		}
+		if w.eng.cfg.CollectOutputs {
+			w.collected = append(w.collected, e)
+		}
+		if w.eng.cfg.OnOutput != nil {
+			w.eng.cfg.OnOutput(e)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package server exposes a CAESAR engine over a TCP line protocol:
+// each connection is an independent stream session. The client sends
+// events in the engine's line format (TypeName|time|values...), the
+// server streams derived complex events back in the same format, and
+// finishes with a "#stats ..." trailer when the client closes its
+// write side.
+//
+// Sessions are isolated: every connection gets a fresh engine run
+// (own partitions, context windows and history), so one misbehaving
+// stream cannot corrupt another. Events within a connection must be
+// in non-decreasing time order, as everywhere in the engine.
+package server
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/caesar-cep/caesar/internal/core"
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Model is the compiled CAESAR model shared by all sessions.
+	Model *model.Model
+	// Engine is the per-session engine configuration. CollectOutputs
+	// and OnOutput are managed by the server and must be unset.
+	Engine core.Config
+}
+
+// Server serves stream sessions.
+type Server struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sessions int
+}
+
+// New validates the configuration.
+func New(cfg Config) (*Server, error) {
+	if cfg.Model == nil {
+		return nil, fmt.Errorf("server: nil model")
+	}
+	if cfg.Engine.CollectOutputs || cfg.Engine.OnOutput != nil {
+		return nil, fmt.Errorf("server: CollectOutputs/OnOutput are managed per session")
+	}
+	// Compile once to surface configuration errors before Serve.
+	if _, err := core.NewEngine(cfg.Model, cfg.Engine); err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg}, nil
+}
+
+// Sessions reports how many sessions have been served or are active.
+func (s *Server) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions
+}
+
+// Serve accepts connections until the listener closes. Each
+// connection is handled on its own goroutine; Serve returns the
+// listener's accept error (net.ErrClosed after Close).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.sessions++
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+
+	out := event.NewWriter(conn)
+	var outMu sync.Mutex
+	cfg := s.cfg.Engine
+	cfg.OnOutput = func(e *event.Event) {
+		outMu.Lock()
+		_ = out.Write(e)
+		outMu.Unlock()
+	}
+	eng, err := core.NewEngine(s.cfg.Model, cfg)
+	if err != nil {
+		fmt.Fprintf(conn, "#error %v\n", err)
+		return
+	}
+	r := event.NewReader(conn, s.cfg.Model.Registry)
+	st, err := eng.Run(r)
+	outMu.Lock()
+	defer outMu.Unlock()
+	_ = out.Flush()
+	if err != nil {
+		fmt.Fprintf(conn, "#error %v\n", err)
+		return
+	}
+	fmt.Fprintf(conn, "#stats events=%d outputs=%d transitions=%d partitions=%d suspended=%d max_latency=%s\n",
+		st.Events, st.OutputCount, st.Transitions, st.Partitions,
+		st.SuspendedSkips, st.MaxLatency)
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/core"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+const serverSrc = `
+EVENT Reading(sensor int, temp int, sec int)
+EVENT Alarm(sensor int, temp int)
+
+CONTEXT normal DEFAULT
+CONTEXT overheated
+
+SWITCH CONTEXT overheated
+PATTERN Reading r
+WHERE r.temp > 90
+CONTEXT normal
+
+SWITCH CONTEXT normal
+PATTERN Reading r
+WHERE r.temp < 70
+CONTEXT overheated
+
+DERIVE Alarm(r.sensor, r.temp)
+PATTERN Reading r
+CONTEXT overheated
+`
+
+func startServer(t *testing.T) (*Server, net.Addr) {
+	t.Helper()
+	m, err := model.CompileSource(serverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{
+		Model:  m,
+		Engine: core.Config{PartitionBy: []string{"sensor"}, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Skipf("loopback listen unavailable: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go srv.Serve(l)
+	return srv, l.Addr()
+}
+
+// session sends the lines and returns every response line.
+func session(t *testing.T, addr net.Addr, lines []string) []string {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for _, ln := range lines {
+		if _, err := fmt.Fprintln(conn, ln); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		if err := tc.CloseWrite(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var out []string
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		out = append(out, sc.Text())
+	}
+	return out
+}
+
+func TestServerSession(t *testing.T) {
+	_, addr := startServer(t)
+	resp := session(t, addr, []string{
+		"Reading|1|7|50|1",
+		"Reading|2|7|95|2", // switch to overheated
+		"Reading|3|7|96|3", // alarm
+		"Reading|4|7|92|4", // alarm
+		"Reading|5|7|60|5", // alarm, then switch back
+		"Reading|6|7|55|6",
+	})
+	var alarms int
+	var stats string
+	for _, ln := range resp {
+		switch {
+		case strings.HasPrefix(ln, "Alarm|"):
+			alarms++
+		case strings.HasPrefix(ln, "#stats"):
+			stats = ln
+		}
+	}
+	if alarms != 3 {
+		t.Errorf("alarms = %d, want 3 (response %v)", alarms, resp)
+	}
+	if !strings.Contains(stats, "events=6") || !strings.Contains(stats, "outputs=3") {
+		t.Errorf("stats trailer = %q", stats)
+	}
+}
+
+func TestServerSessionsIsolated(t *testing.T) {
+	srv, addr := startServer(t)
+	// Session 1 leaves sensor 7 overheated; session 2 must start in
+	// the default context (no alarm for its first normal reading).
+	session(t, addr, []string{"Reading|1|7|95|1", "Reading|2|7|96|2"})
+	resp := session(t, addr, []string{"Reading|1|7|75|1"})
+	for _, ln := range resp {
+		if strings.HasPrefix(ln, "Alarm|") {
+			t.Errorf("second session inherited context: %v", resp)
+		}
+	}
+	if srv.Sessions() != 2 {
+		t.Errorf("sessions = %d", srv.Sessions())
+	}
+}
+
+func TestServerMalformedInput(t *testing.T) {
+	_, addr := startServer(t)
+	resp := session(t, addr, []string{"Nope|1|2"})
+	joined := strings.Join(resp, "\n")
+	if !strings.Contains(joined, "#error") || !strings.Contains(joined, "unknown event type") {
+		t.Errorf("malformed input response = %v", resp)
+	}
+}
+
+func TestServerOutOfOrder(t *testing.T) {
+	_, addr := startServer(t)
+	resp := session(t, addr, []string{
+		"Reading|5|7|50|5",
+		"Reading|3|7|50|3",
+	})
+	if !strings.Contains(strings.Join(resp, "\n"), "out-of-order") {
+		t.Errorf("disorder response = %v", resp)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	m, err := model.CompileSource(serverSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{}); err == nil {
+		t.Error("nil model accepted")
+	}
+	if _, err := New(Config{Model: m, Engine: core.Config{CollectOutputs: true}}); err == nil {
+		t.Error("CollectOutputs accepted")
+	}
+	if _, err := New(Config{Model: m, Engine: core.Config{ContextIndependent: true, Sharing: true}}); err == nil {
+		t.Error("invalid engine config accepted")
+	}
+}
