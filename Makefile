@@ -1,0 +1,24 @@
+.PHONY: ci test race bench bench-distributor experiments
+
+# CI-grade verify: vet + build + full test suite under the race
+# detector (see scripts/ci.sh).
+ci:
+	./scripts/ci.sh
+
+# Tier-1 verify: the fast gate every change must keep green.
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./...
+
+# Figure-level benchmarks plus engine micro-benchmarks.
+bench:
+	go test -run '^$$' -bench . -benchmem .
+
+# Distributor hot-path benchmarks (must report 0 allocs/op).
+bench-distributor:
+	go test -run '^$$' -bench 'BenchmarkDistributor|BenchmarkPartitionKey' -benchmem ./internal/runtime/
+
+experiments:
+	go run ./cmd/experiments -fig all -scale quick

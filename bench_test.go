@@ -104,3 +104,50 @@ func BenchmarkEngineNoPushDown(b *testing.B) {
 func BenchmarkEngineSingleWorker(b *testing.B) {
 	runEngineBench(b, Config{PartitionBy: LinearRoadPartitionBy(), Workers: 1})
 }
+
+// dispatchBenchModel keeps the query workload minimal so the ingest/
+// dispatch path — tick formation, partition key extraction, worker
+// hand-off — dominates the per-event cost.
+const dispatchBenchModel = `
+EVENT PositionReport(vid int, xway int, lane int, dir int, seg int, pos int, speed int, sec int)
+EVENT Halted(vid int, seg int)
+
+CONTEXT clear DEFAULT
+
+DERIVE Halted(p.vid, p.seg)
+PATTERN PositionReport p
+WHERE p.speed < 0
+`
+
+// BenchmarkEngineDispatchBound measures end-to-end throughput in the
+// distributor-bound regime: a real Linear Road position report stream
+// over many (xway, dir, seg) partitions with a near-empty query
+// workload, isolating the cost of ingesting and routing one event.
+func BenchmarkEngineDispatchBound(b *testing.B) {
+	eng, err := NewFromSource(dispatchBenchModel, Config{
+		PartitionBy: LinearRoadPartitionBy(),
+		Workers:     4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen := LinearRoadDefaults()
+	gen.Segments = 20
+	gen.Duration = 1200
+	events, err := GenerateLinearRoad(gen, eng.Registry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := eng.Run(NewSliceSource(events))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Events != uint64(len(events)) {
+			b.Fatal("events lost")
+		}
+	}
+	b.ReportMetric(float64(len(events)), "events/op")
+}

@@ -5,6 +5,7 @@
 //
 //	experiments -fig 12a            # one figure, full scale
 //	experiments -fig all -scale quick
+//	experiments -fig 12a -cpuprofile cpu.out -memprofile mem.out
 //	experiments -list
 //
 // Figure ids: 10a 10b 11a 11b 12a 12b 12c 12d 13 14a 14b 14c summary.
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/caesar-cep/caesar/internal/experiments"
@@ -23,34 +26,65 @@ func main() {
 	fig := flag.String("fig", "all", "figure id to regenerate, or 'all'")
 	scaleName := flag.String("scale", "full", "sweep scale: quick or full")
 	list := flag.Bool("list", false, "list figure ids and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), " "))
 		return
 	}
+	if err := run(*fig, *scaleName, *cpuprofile, *memprofile); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the sweep with profiling brackets around it, so figure
+// runs can be profiled without editing code (go tool pprof <file>).
+func run(fig, scaleName, cpuprofile, memprofile string) error {
 	var scale experiments.Scale
-	switch *scaleName {
+	switch scaleName {
 	case "quick":
 		scale = experiments.Quick()
 	case "full":
 		scale = experiments.Full()
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q (want quick or full)\n", *scaleName)
-		os.Exit(2)
+		return fmt.Errorf("unknown scale %q (want quick or full)", scaleName)
 	}
 
-	if *fig == "all" {
-		if err := experiments.RunAll(scale, os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return err
 		}
-		return
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start CPU profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
 	}
-	t, err := experiments.Run(*fig, scale)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+
+	var sweepErr error
+	if fig == "all" {
+		sweepErr = experiments.RunAll(scale, os.Stdout)
+	} else {
+		var t *experiments.Table
+		if t, sweepErr = experiments.Run(fig, scale); sweepErr == nil {
+			t.Print(os.Stdout)
+		}
 	}
-	t.Print(os.Stdout)
+
+	if memprofile != "" {
+		f, err := os.Create(memprofile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // materialize only live heap objects in the profile
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("write heap profile: %w", err)
+		}
+	}
+	return sweepErr
 }

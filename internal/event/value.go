@@ -216,6 +216,27 @@ func (v Value) String() string {
 	}
 }
 
+// Append renders the value into dst exactly as String does, without
+// allocating when dst has capacity — the hot-path form the runtime's
+// partition-key interning uses.
+func (v Value) Append(dst []byte) []byte {
+	switch v.Kind {
+	case KindInt:
+		return strconv.AppendInt(dst, v.Int, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.Float, 'g', -1, 64)
+	case KindString:
+		return append(dst, v.Str...)
+	case KindBool:
+		if v.Int != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	default:
+		return append(dst, "<invalid>"...)
+	}
+}
+
 // GoString implements fmt.GoStringer for readable test failures.
 func (v Value) GoString() string {
 	return fmt.Sprintf("event.Value{%s:%s}", v.Kind, v.String())

@@ -6,6 +6,35 @@ import (
 	"testing/quick"
 )
 
+func TestValueAppendMatchesString(t *testing.T) {
+	vals := []Value{
+		Int64(0), Int64(-42), Int64(123456789),
+		Float64(0), Float64(3.25), Float64(-1e12), Float64(math.Inf(1)),
+		String(""), String("seg|7"), Bool(true), Bool(false), {},
+	}
+	for _, v := range vals {
+		if got := string(v.Append(nil)); got != v.String() {
+			t.Errorf("Append(%#v) = %q, want %q", v, got, v.String())
+		}
+	}
+	// Appending extends dst in place.
+	buf := []byte("k=")
+	buf = Int64(7).Append(buf)
+	if string(buf) != "k=7" {
+		t.Errorf("append onto prefix = %q", buf)
+	}
+	if err := quick.Check(func(i int64, f float64, s string, b bool) bool {
+		for _, v := range []Value{Int64(i), Float64(f), String(s), Bool(b)} {
+			if string(v.Append(nil)) != v.String() {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestKindString(t *testing.T) {
 	cases := map[Kind]string{
 		KindInt: "int", KindFloat: "float", KindString: "string",

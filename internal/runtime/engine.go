@@ -26,9 +26,7 @@ package runtime
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -271,35 +269,6 @@ func (e *Engine) Groups() (groups, instances int) {
 	return len(e.groups), instances
 }
 
-// partitionKey renders the partition key of an event. Events with
-// none of the key attributes land in the control partition "·" —
-// they are typically global context triggers.
-func (e *Engine) partitionKey(ev *event.Event) string {
-	if len(e.cfg.PartitionBy) == 0 {
-		return "·"
-	}
-	var b strings.Builder
-	found := false
-	for _, attr := range e.cfg.PartitionBy {
-		v, ok := ev.Get(attr)
-		if ok {
-			found = true
-			b.WriteString(v.String())
-		}
-		b.WriteByte('|')
-	}
-	if !found {
-		return "·"
-	}
-	return b.String()
-}
-
-type txnMsg struct {
-	key   string
-	ts    event.Time
-	batch []*event.Event
-}
-
 // Run executes the engine over a source until exhaustion and returns
 // the run's statistics. Engines are single-run: partition state is
 // rebuilt on each call.
@@ -308,13 +277,14 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 	workers := make([]*worker, e.cfg.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
-		workers[i] = newWorker(e)
+		workers[i] = newWorker(e, i)
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			w.loop()
 		}(workers[i])
 	}
+	dist := newDistributor(workers, e.cfg.PartitionBy)
 
 	var totalEvents, ticks uint64
 	var appStart event.Time
@@ -331,22 +301,7 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 				time.Sleep(d)
 			}
 		}
-		arrival := time.Now().UnixNano()
-		byPart := map[string][]*event.Event{}
-		for _, ev := range evs {
-			ev.Arrival = arrival
-			k := e.partitionKey(ev)
-			byPart[k] = append(byPart[k], ev)
-		}
-		keys := make([]string, 0, len(byPart))
-		for k := range byPart {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			w := workers[hashKey(k)%uint32(len(workers))]
-			w.ch <- txnMsg{key: k, ts: ts, batch: byPart[k]}
-		}
+		dist.dispatch(ts, evs, time.Now().UnixNano())
 	}
 
 	var tick []*event.Event
@@ -385,17 +340,19 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 			return nil, err
 		}
 	}
-	return e.collect(workers, totalEvents, ticks, time.Since(start)), nil
+	return e.collect(workers, len(dist.table), totalEvents, ticks, time.Since(start)), nil
 }
 
-func (e *Engine) collect(workers []*worker, events, ticks uint64, wall time.Duration) *Stats {
+func (e *Engine) collect(workers []*worker, partitions int, events, ticks uint64, wall time.Duration) *Stats {
 	st := &Stats{
-		Events:   events,
-		Ticks:    ticks,
-		WallTime: wall,
-		PerType:  map[string]uint64{},
+		Events:     events,
+		Ticks:      ticks,
+		WallTime:   wall,
+		Partitions: partitions,
+		PerType:    map[string]uint64{},
 	}
 	var lat metrics.LatencyTracker
+	var observed int64
 	for _, w := range workers {
 		st.Txns += w.txns
 		st.OutputCount += w.outputs
@@ -404,7 +361,6 @@ func (e *Engine) collect(workers []*worker, events, ticks uint64, wall time.Dura
 		st.InstanceExecs += w.instanceExecs
 		st.EventsFed += w.eventsFed
 		st.HistoryResets += w.historyResets
-		st.Partitions += len(w.parts)
 		for ty, n := range w.perType {
 			st.PerType[ty] += n
 		}
@@ -412,19 +368,15 @@ func (e *Engine) collect(workers []*worker, events, ticks uint64, wall time.Dura
 			lat.Observe(w.lat.Max())
 		}
 		st.MeanLatency += time.Duration(int64(w.lat.Mean()) * w.lat.Count())
+		observed += w.lat.Count()
 		if e.cfg.CollectOutputs {
 			st.Outputs = append(st.Outputs, w.collected...)
 		}
 	}
-	if n := int64(0); true {
-		for _, w := range workers {
-			n += w.lat.Count()
-		}
-		if n > 0 {
-			st.MeanLatency /= time.Duration(n)
-		} else {
-			st.MeanLatency = 0
-		}
+	if observed > 0 {
+		st.MeanLatency /= time.Duration(observed)
+	} else {
+		st.MeanLatency = 0
 	}
 	st.MaxLatency = lat.Max()
 	if e.cfg.CollectOutputs {
@@ -437,10 +389,4 @@ func (e *Engine) collect(workers []*worker, events, ticks uint64, wall time.Dura
 		})
 	}
 	return st
-}
-
-func hashKey(k string) uint32 {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(k))
-	return h.Sum32()
 }

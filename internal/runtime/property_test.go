@@ -158,6 +158,30 @@ func TestPropertySharingInvariance(t *testing.T) {
 	}
 }
 
+// TestPropertyDispatchOrderEquivalence: the distributor's batched,
+// first-seen-order hand-off (replacing the seed's per-tick sorted-key
+// dispatch) changes no outputs — grouped (shared) and ungrouped plan
+// sets stay equivalent at every worker count, and results agree
+// across worker counts even though per-worker arrival order differs.
+func TestPropertyDispatchOrderEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		var base string
+		for _, workers := range []int{1, 2, 5} {
+			plain := runProperty(t, seed, 150, ContextAware, false, workers)
+			shared := runProperty(t, seed, 150, ContextAware, true, workers)
+			if renderings(plain) != renderings(shared) {
+				t.Fatalf("seed %d workers %d: grouped and ungrouped outputs diverged",
+					seed, workers)
+			}
+			if base == "" {
+				base = renderings(plain)
+			} else if renderings(plain) != base {
+				t.Fatalf("seed %d: outputs changed at %d workers", seed, workers)
+			}
+		}
+	}
+}
+
 // TestPropertyRerunDeterminism: running the same engine twice yields
 // identical outputs (fresh partition state per run).
 func TestPropertyRerunDeterminism(t *testing.T) {

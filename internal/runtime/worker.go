@@ -15,9 +15,18 @@ import (
 // is confined to its goroutine; no locks are needed (§6.2's scheduler
 // correctness reduces to per-partition FIFO).
 type worker struct {
-	eng   *Engine
-	ch    chan txnMsg
-	parts map[string]*partitionState
+	eng *Engine
+	id  int
+	ch  chan txnMsg
+
+	// Free lists feeding the distributor's batch buffers; buffers
+	// cycle distributor → this worker → back here without garbage.
+	freeEvs  bufStack[eventBuf]
+	freeTxns bufStack[txnBuf]
+
+	// wallNow caches one wall-clock reading per hand-off message for
+	// the latency metric (see emit).
+	wallNow int64
 
 	// Counters, merged by the engine after the run.
 	txns           uint64
@@ -32,24 +41,59 @@ type worker struct {
 	collected      []*event.Event
 }
 
-func newWorker(e *Engine) *worker {
+func newWorker(e *Engine, id int) *worker {
 	return &worker{
 		eng:     e,
+		id:      id,
 		ch:      make(chan txnMsg, 256),
-		parts:   map[string]*partitionState{},
 		perType: map[string]uint64{},
 	}
 }
 
+func (w *worker) getEventBuf() *eventBuf {
+	if b := w.freeEvs.pop(); b != nil {
+		return b
+	}
+	return &eventBuf{}
+}
+
+// putEventBuf recycles a consumed batch buffer. The stale event
+// pointers are not cleared: they are overwritten on the buffer's next
+// fill, the retention window is one recycle cycle, and clearing here
+// would add a worker-side write pass over lines the distributor is
+// about to write again (cache-coherence churn on the hot hand-off).
+func (w *worker) putEventBuf(b *eventBuf) {
+	b.evs = b.evs[:0]
+	w.freeEvs.push(b)
+}
+
+func (w *worker) getTxnBuf() *txnBuf {
+	if b := w.freeTxns.pop(); b != nil {
+		return b
+	}
+	return &txnBuf{}
+}
+
+func (w *worker) putTxnBuf(b *txnBuf) {
+	b.txns = b.txns[:0]
+	w.freeTxns.push(b)
+}
+
 func (w *worker) loop() {
 	for msg := range w.ch {
-		ps := w.parts[msg.key]
-		if ps == nil {
-			ps = w.newPartition(msg.key)
-			w.parts[msg.key] = ps
+		w.wallNow = 0
+		for i := range msg.buf.txns {
+			txn := &msg.buf.txns[i]
+			ps := txn.part.state
+			if ps == nil {
+				ps = w.newPartition(txn.part.key)
+				txn.part.state = ps
+			}
+			w.txns++
+			ps.exec(w, msg.ts, txn.buf.evs)
+			w.putEventBuf(txn.buf)
 		}
-		w.txns++
-		ps.exec(w, msg.ts, msg.batch)
+		w.putTxnBuf(msg.buf)
 	}
 }
 
@@ -68,6 +112,7 @@ type execGroup struct {
 	insts    []*instanceState
 	transBuf []algebra.Transition
 	derived  []*event.Event
+	poolBuf  []*event.Event
 }
 
 type instanceState struct {
@@ -137,9 +182,10 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 		}
 		// Derived events join the transaction's event pool so that
 		// downstream plans of the combined query plan consume them
-		// within the same transaction (§4.2 phase 2).
+		// within the same transaction (§4.2 phase 2). The pool grows
+		// in the group's reusable scratch, not a fresh slice.
 		if !pooled {
-			pool = append(append(make([]*event.Event, 0, len(batch)+len(derived)), batch...), derived...)
+			pool = append(append(g.poolBuf[:0], batch...), derived...)
 			pooled = true
 		} else {
 			pool = append(pool, derived...)
@@ -165,11 +211,22 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 			is.wasActive = active
 		}
 	}
+	if pooled {
+		g.poolBuf = pool[:0]
+	}
 	g.transBuf = trans[:0]
 }
 
 func (w *worker) emit(events []*event.Event) {
-	wall := time.Now().UnixNano()
+	// With pacing off the latency metric measures CPU backlog, so one
+	// wall-clock reading per hand-off message is precise enough and
+	// saves a syscall per derivation batch; paced real-time replays
+	// take a fresh reading every time.
+	wall := w.wallNow
+	if wall == 0 || w.eng.cfg.Pacing > 0 {
+		wall = time.Now().UnixNano()
+		w.wallNow = wall
+	}
 	for _, e := range events {
 		w.outputs++
 		w.perType[e.TypeName()]++

@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# CI-grade verification: vet, build, and the full test suite under the
+# race detector. The distributor/worker hand-off is concurrent by
+# design, so every PR runs with -race.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== ci OK"
