@@ -1,4 +1,4 @@
-.PHONY: ci test race bench bench-distributor experiments
+.PHONY: ci test race bench bench-distributor bench-pattern experiments
 
 # CI-grade verify: vet + build + full test suite under the race
 # detector (see scripts/ci.sh).
@@ -19,6 +19,11 @@ bench:
 # Distributor hot-path benchmarks (must report 0 allocs/op).
 bench-distributor:
 	go test -run '^$$' -bench 'BenchmarkDistributor|BenchmarkPartitionKey' -benchmem ./internal/runtime/
+
+# Pattern kernel steady-state benchmarks (extension must report
+# 0 allocs/op); scripts/bench.sh renders the JSON report.
+bench-pattern:
+	go test -run '^$$' -bench 'BenchmarkPattern' -benchmem ./internal/algebra/
 
 experiments:
 	go run ./cmd/experiments -fig all -scale quick

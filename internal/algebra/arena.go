@@ -1,0 +1,138 @@
+package algebra
+
+import (
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// kernelArena is the pattern operator's allocation recycler (see
+// DESIGN.md §3.2). The pattern hot loop used to heap-allocate three
+// things per extension: a *partial record, a fresh binding slice, and
+// (on completion) a *Match. The arena replaces all three with
+// free-list recycling backed by chunked slabs:
+//
+//   - partial records are carved from fixed-size chunks; a chunk is
+//     never reallocated, so record pointers stay valid for the
+//     operator's lifetime, and retired records return to a free list;
+//   - bindings are fixed-stride regions (stride = the query's slot
+//     count) carved from chunked flat backing arrays. A region's
+//     lifetime follows its owner: partial → Match → released back to
+//     the free list when the partial expires, the match is rejected,
+//     or the caller returns emitted matches via Pattern.Release;
+//   - Match and pendingMatch records recycle the same way.
+//
+// In steady state — free lists warm — partial extension performs no
+// heap allocation at all; growth allocates one chunk per chunkSize
+// records, amortizing to well under one allocation per operation.
+//
+// The arena is single-goroutine, like the operator that owns it.
+type kernelArena struct {
+	stride int // binding slots per region
+
+	partialChunk []partial // current slab; carved, never grown in place
+	partialUsed  int
+	partialFree  []*partial
+
+	bindChunk []*event.Event // current flat backing slab
+	bindUsed  int
+	bindFree  [][]*event.Event
+
+	matchFree []*Match
+	pendFree  []*pendingMatch
+}
+
+// chunkSize is the number of records (or binding regions) carved from
+// one slab allocation.
+const chunkSize = 256
+
+func newKernelArena(stride int) *kernelArena {
+	return &kernelArena{stride: stride}
+}
+
+// getPartial returns a zeroed partial record without a binding.
+func (a *kernelArena) getPartial() *partial {
+	if n := len(a.partialFree); n > 0 {
+		p := a.partialFree[n-1]
+		a.partialFree = a.partialFree[:n-1]
+		return p
+	}
+	if a.partialUsed == len(a.partialChunk) {
+		a.partialChunk = make([]partial, chunkSize)
+		a.partialUsed = 0
+	}
+	p := &a.partialChunk[a.partialUsed]
+	a.partialUsed++
+	return p
+}
+
+// putPartial retires a record and its binding region.
+func (a *kernelArena) putPartial(p *partial) {
+	a.putBinding(p.binding)
+	p.binding = nil
+	a.partialFree = append(a.partialFree, p)
+}
+
+// getBinding returns a zeroed binding region of stride slots. The
+// region is capacity-capped so an accidental append can never bleed
+// into a neighboring region.
+func (a *kernelArena) getBinding() []*event.Event {
+	if n := len(a.bindFree); n > 0 {
+		b := a.bindFree[n-1]
+		a.bindFree = a.bindFree[:n-1]
+		for i := range b {
+			b[i] = nil
+		}
+		return b
+	}
+	if a.bindUsed+a.stride > len(a.bindChunk) {
+		a.bindChunk = make([]*event.Event, a.stride*chunkSize)
+		a.bindUsed = 0
+	}
+	b := a.bindChunk[a.bindUsed : a.bindUsed+a.stride : a.bindUsed+a.stride]
+	a.bindUsed += a.stride
+	return b
+}
+
+// putBinding returns a region to the free list. The stale event
+// pointers are cleared on reuse, not here, so a released Match's
+// binding stays readable until the region actually recycles.
+func (a *kernelArena) putBinding(b []*event.Event) {
+	if b == nil {
+		return
+	}
+	a.bindFree = append(a.bindFree, b)
+}
+
+// getMatch returns a recycled or fresh Match.
+func (a *kernelArena) getMatch() *Match {
+	if n := len(a.matchFree); n > 0 {
+		m := a.matchFree[n-1]
+		a.matchFree = a.matchFree[:n-1]
+		return m
+	}
+	return &Match{}
+}
+
+// putMatch retires a Match and its binding region.
+func (a *kernelArena) putMatch(m *Match) {
+	a.putBinding(m.Binding)
+	m.Binding = nil
+	a.matchFree = append(a.matchFree, m)
+}
+
+// getPending returns a recycled or fresh pendingMatch record.
+func (a *kernelArena) getPending() *pendingMatch {
+	if n := len(a.pendFree); n > 0 {
+		pm := a.pendFree[n-1]
+		a.pendFree = a.pendFree[:n-1]
+		*pm = pendingMatch{}
+		return pm
+	}
+	return &pendingMatch{}
+}
+
+// putPending retires a pendingMatch record (not its Match — the match
+// either went to the caller or was retired separately).
+func (a *kernelArena) putPending(pm *pendingMatch) {
+	pm.m = nil
+	a.pendFree = append(a.pendFree, pm)
+}

@@ -49,8 +49,14 @@ type PatternStats struct {
 // SEQ, honoring negation and eagerly applied filter predicates.
 // Partial matches held between invocations are the query's "context
 // history" (§6.2); Reset discards them.
+//
+// All kernel state — partial records, binding regions, Match and
+// pendingMatch records — lives in a per-operator arena (arena.go) and
+// recycles on expiry, rejection, Reset and Release, so steady-state
+// extension performs no heap allocation.
 type Pattern struct {
-	spec PatternSpec
+	spec  PatternSpec
+	arena *kernelArena
 
 	// filterAt[i] lists the indices of spec.Filters that become fully
 	// bound once step i is bound.
@@ -61,12 +67,18 @@ type Pattern struct {
 	partials [][]*partial
 	// negBuf[j] buffers events of negation j's type, bounded by
 	// 2*Horizon so that completion-time negation checks see every
-	// event that can fall within a live match's span.
-	negBuf [][]*event.Event
-	// negIdx[j] indexes negBuf[j] by the negation's hash-join
-	// attribute (nil when the negation has no equi-join condition or
-	// indexing is disabled): completion-time checks then probe one
-	// bucket instead of scanning the buffer.
+	// event that can fall within a live match's span. The buffer is a
+	// ring over a slice: negHead[j] marks the first live entry, expiry
+	// advances it, and the slice compacts only when the dead prefix
+	// dominates — no per-Advance reshuffling.
+	negBuf  [][]*event.Event
+	negHead []int
+	// negIdx[j] indexes the live part of negBuf[j] by the negation's
+	// hash-join attribute (nil when the negation has no equi-join
+	// condition or indexing is disabled): completion-time checks then
+	// probe one bucket instead of scanning the buffer. Expiry trims
+	// each bucket's front in step with the ring head — the map is
+	// never rebuilt.
 	negIdx []map[event.Value][]*event.Event
 	// pending holds completed matches waiting out a trailing
 	// negation's deadline.
@@ -76,6 +88,8 @@ type Pattern struct {
 	stats   PatternStats
 }
 
+// partial is one pattern-match prefix. Records and their binding
+// regions are arena-managed; see arena.go for the lifecycle.
 type partial struct {
 	binding    []*event.Event
 	firstStart event.Time
@@ -98,7 +112,7 @@ func NewPattern(spec PatternSpec) (*Pattern, error) {
 	if spec.Horizon <= 0 {
 		return nil, fmt.Errorf("algebra: pattern horizon must be positive, got %d", spec.Horizon)
 	}
-	p := &Pattern{spec: spec}
+	p := &Pattern{spec: spec, arena: newKernelArena(spec.NumSlots)}
 	// Eager filter schedule: a filter runs at the first step where
 	// its variable set is fully bound.
 	bound := predicate.VarSet(0)
@@ -120,6 +134,7 @@ func NewPattern(spec PatternSpec) (*Pattern, error) {
 	}
 	p.partials = make([][]*partial, len(spec.Steps))
 	p.negBuf = make([][]*event.Event, len(spec.Negs))
+	p.negHead = make([]int, len(spec.Negs))
 	p.negIdx = make([]map[event.Value][]*event.Event, len(spec.Negs))
 	for j := range spec.Negs {
 		if spec.Negs[j].HashProbe != nil && !spec.DisableNegIndex {
@@ -135,18 +150,45 @@ func (p *Pattern) Stats() PatternStats { return p.stats }
 
 // Reset discards all partial matches, negation buffers and pending
 // emissions. The runtime calls it when the query's original context
-// window ends and its history may be safely discarded (§6.2).
+// window ends and its history may be safely discarded (§6.2). The
+// discarded records return to the arena, so context-window
+// close/reopen cycles reuse the same memory instead of churning the
+// allocator.
 func (p *Pattern) Reset() {
 	for i := range p.partials {
-		p.partials[i] = nil
+		for _, pa := range p.partials[i] {
+			p.arena.putPartial(pa)
+		}
+		p.partials[i] = p.partials[i][:0]
 	}
 	for j := range p.negBuf {
-		p.negBuf[j] = nil
+		nb := p.negBuf[j]
+		for k := p.negHead[j]; k < len(nb); k++ {
+			nb[k] = nil
+		}
+		p.negBuf[j] = nb[:0]
+		p.negHead[j] = 0
 		if p.negIdx[j] != nil {
-			p.negIdx[j] = map[event.Value][]*event.Event{}
+			clear(p.negIdx[j])
 		}
 	}
-	p.pending = nil
+	for _, pm := range p.pending {
+		p.arena.putMatch(pm.m)
+		p.arena.putPending(pm)
+	}
+	p.pending = p.pending[:0]
+}
+
+// Release returns emitted matches to the operator's arena for reuse.
+// The caller that drained Advance/Process output calls it once it has
+// projected the matches into derived events; the matches and their
+// bindings must not be read afterwards. Callers that retain matches
+// (tests, ad-hoc drivers) simply never call it — the arena then grows
+// like the pre-arena kernel allocated.
+func (p *Pattern) Release(ms []*Match) {
+	for _, m := range ms {
+		p.arena.putMatch(m)
+	}
 }
 
 // MemoryFootprint returns the number of retained partials, buffered
@@ -156,8 +198,8 @@ func (p *Pattern) MemoryFootprint() (partials, negBuffered, pending int) {
 	for _, ps := range p.partials {
 		partials += len(ps)
 	}
-	for _, nb := range p.negBuf {
-		negBuffered += len(nb)
+	for j, nb := range p.negBuf {
+		negBuffered += len(nb) - p.negHead[j]
 	}
 	return partials, negBuffered, len(p.pending)
 }
@@ -177,41 +219,26 @@ func (p *Pattern) Advance(now event.Time, out []*Match) []*Match {
 				kept = append(kept, pa)
 			} else {
 				p.stats.PartialsExpired++
+				p.arena.putPartial(pa)
 			}
 		}
 		p.partials[i] = kept
 	}
 	negCut := now - 2*event.Time(p.spec.Horizon)
 	for j := range p.negBuf {
-		nb := p.negBuf[j]
-		kept := nb[:0]
-		for _, e := range nb {
-			if e.End() >= negCut {
-				kept = append(kept, e)
-			}
-		}
-		pruned := len(kept) != len(nb)
-		p.negBuf[j] = kept
-		if pruned && p.negIdx[j] != nil {
-			// Rebuild the index after expiry; cheaper than per-event
-			// deletion and amortized over the transaction.
-			idx := make(map[event.Value][]*event.Event, len(kept))
-			field := p.spec.Negs[j].HashField
-			for _, e := range kept {
-				k := e.At(field)
-				idx[k] = append(idx[k], e)
-			}
-			p.negIdx[j] = idx
-		}
+		p.expireNegBuf(j, negCut)
 	}
 	if len(p.pending) > 0 {
 		kept := p.pending[:0]
 		for _, pm := range p.pending {
 			switch {
 			case pm.killed:
+				p.arena.putMatch(pm.m)
+				p.arena.putPending(pm)
 			case pm.deadline < now:
 				out = append(out, pm.m)
 				p.stats.MatchesEmitted++
+				p.arena.putPending(pm)
 			default:
 				kept = append(kept, pm)
 			}
@@ -219,6 +246,43 @@ func (p *Pattern) Advance(now event.Time, out []*Match) []*Match {
 		p.pending = kept
 	}
 	return out
+}
+
+// expireNegBuf advances negation j's ring head past expired events,
+// trimming the index buckets in step. Events enter the buffer (and
+// their bucket) in stream order and End() is non-decreasing, so the
+// expired set is a prefix of both the buffer and each bucket — each
+// expired event pops its bucket's front. Compaction runs only when
+// the dead prefix dominates the buffer, keeping amortized cost
+// O(expired) instead of the previous O(live) map rebuild.
+func (p *Pattern) expireNegBuf(j int, negCut event.Time) {
+	nb := p.negBuf[j]
+	h := p.negHead[j]
+	idx := p.negIdx[j]
+	field := p.spec.Negs[j].HashField
+	for h < len(nb) && nb[h].End() < negCut {
+		if idx != nil {
+			k := nb[h].At(field)
+			if b := idx[k]; len(b) > 1 {
+				idx[k] = b[1:]
+			} else {
+				delete(idx, k)
+			}
+		}
+		nb[h] = nil
+		h++
+	}
+	switch {
+	case h == len(nb):
+		nb = nb[:0]
+		h = 0
+	case h > 64 && 2*h >= len(nb):
+		n := copy(nb, nb[h:])
+		nb = nb[:n]
+		h = 0
+	}
+	p.negBuf[j] = nb
+	p.negHead[j] = h
 }
 
 // Process consumes one batch of events (all with the same occurrence
@@ -256,7 +320,7 @@ func (p *Pattern) processEvent(e *event.Event, out []*Match) []*Match {
 			continue
 		}
 		if i == 0 {
-			p.startPartial(e, &out)
+			out = p.startPartial(e, out)
 		} else {
 			out = p.extendPartials(i, e, out)
 		}
@@ -266,24 +330,24 @@ func (p *Pattern) processEvent(e *event.Event, out []*Match) []*Match {
 
 // startPartial begins a new prefix at step 0 (or completes a match
 // for single-step patterns).
-func (p *Pattern) startPartial(e *event.Event, out *[]*Match) {
-	binding := make([]*event.Event, p.spec.NumSlots)
+func (p *Pattern) startPartial(e *event.Event, out []*Match) []*Match {
+	binding := p.arena.getBinding()
 	binding[p.spec.Steps[0].Slot] = e
 	if !p.runFilters(0, binding) {
-		return
-	}
-	pa := &partial{
-		binding:    binding,
-		firstStart: e.Time.Start,
-		lastEnd:    e.Time.End,
-		arrival:    e.Arrival,
+		p.arena.putBinding(binding)
+		return out
 	}
 	p.stats.PartialsCreated++
 	if len(p.spec.Steps) == 1 {
-		*out = p.complete(pa, *out)
-		return
+		return p.complete(binding, e.Time.Start, e.Time.End, e.Arrival, out)
 	}
+	pa := p.arena.getPartial()
+	pa.binding = binding
+	pa.firstStart = e.Time.Start
+	pa.lastEnd = e.Time.End
+	pa.arrival = e.Arrival
 	p.partials[1] = append(p.partials[1], pa)
+	return out
 }
 
 func (p *Pattern) extendPartials(i int, e *event.Event, out []*Match) []*Match {
@@ -299,21 +363,23 @@ func (p *Pattern) extendPartials(i int, e *event.Event, out []*Match) []*Match {
 		if pa.lastEnd >= e.Time.Start {
 			continue
 		}
-		binding := append([]*event.Event(nil), pa.binding...)
+		binding := p.arena.getBinding()
+		copy(binding, pa.binding)
 		binding[slot] = e
 		if !p.runFilters(i, binding) {
+			p.arena.putBinding(binding)
 			continue
 		}
-		ext := &partial{
-			binding:    binding,
-			firstStart: pa.firstStart,
-			lastEnd:    e.Time.End,
-			arrival:    maxI64(pa.arrival, e.Arrival),
-		}
 		p.stats.PartialsCreated++
+		arrival := maxI64(pa.arrival, e.Arrival)
 		if last {
-			out = p.complete(ext, out)
+			out = p.complete(binding, pa.firstStart, e.Time.End, arrival, out)
 		} else {
+			ext := p.arena.getPartial()
+			ext.binding = binding
+			ext.firstStart = pa.firstStart
+			ext.lastEnd = e.Time.End
+			ext.arrival = arrival
 			p.partials[i+1] = append(p.partials[i+1], ext)
 		}
 	}
@@ -332,30 +398,32 @@ func (p *Pattern) runFilters(step int, binding []*event.Event) bool {
 
 // complete finalizes a full binding: leading and mid-anchored
 // negations are checked against the buffered negation events; a
-// trailing negation defers emission until its deadline.
-func (p *Pattern) complete(pa *partial, out []*Match) []*Match {
+// trailing negation defers emission until its deadline. The binding's
+// ownership moves into the emitted Match (or back to the arena on
+// rejection).
+func (p *Pattern) complete(binding []*event.Event, firstStart, lastEnd event.Time, arrival int64, out []*Match) []*Match {
 	n := len(p.spec.Steps)
 	for j := range p.spec.Negs {
 		neg := &p.spec.Negs[j]
 		if neg.Anchor == n {
 			continue
 		}
-		if p.negationViolated(neg, j, pa.binding) {
+		if p.negationViolated(neg, j, binding) {
 			p.stats.MatchesNegated++
+			p.arena.putBinding(binding)
 			return out
 		}
 	}
-	m := &Match{
-		Binding: pa.binding,
-		Time:    event.Interval{Start: pa.firstStart, End: pa.lastEnd},
-		Arrival: pa.arrival,
-	}
+	m := p.arena.getMatch()
+	m.Binding = binding
+	m.Time = event.Interval{Start: firstStart, End: lastEnd}
+	m.Arrival = arrival
 	if p.hasTrailingNeg() {
-		p.pending = append(p.pending, &pendingMatch{
-			m:        m,
-			lastEnd:  pa.lastEnd,
-			deadline: pa.lastEnd + event.Time(p.spec.Horizon),
-		})
+		pm := p.arena.getPending()
+		pm.m = m
+		pm.lastEnd = lastEnd
+		pm.deadline = lastEnd + event.Time(p.spec.Horizon)
+		p.pending = append(p.pending, pm)
 		return out
 	}
 	p.stats.MatchesEmitted++
@@ -382,7 +450,7 @@ func (p *Pattern) negationViolated(neg *model.Negation, j int, binding []*event.
 		lo = binding[p.spec.Steps[neg.Anchor-1].Slot].Time.End
 	}
 	hi := binding[p.spec.Steps[neg.Anchor].Slot].Time.Start
-	candidates := p.negBuf[j]
+	candidates := p.negBuf[j][p.negHead[j]:]
 	if idx := p.negIdx[j]; idx != nil {
 		// Probe only the bucket matching the equi-join key; the
 		// residual conditions below re-verify it.

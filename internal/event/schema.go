@@ -20,6 +20,10 @@ type Schema struct {
 	name   string
 	fields []Field
 	index  map[string]int
+	// typeIndex is the schema's dense position in the registry that
+	// owns it (0 until registered). Hot-path per-type accounting is
+	// keyed by it instead of hashing the type name.
+	typeIndex int
 }
 
 // NewSchema builds a schema. Field names must be unique.
@@ -60,6 +64,11 @@ func MustSchema(name string, fields ...Field) *Schema {
 // Name returns the event type name.
 func (s *Schema) Name() string { return s.name }
 
+// Index returns the schema's dense registry position: registration
+// order, starting at 0. Unregistered schemas report 0; indices are
+// unique only within one registry.
+func (s *Schema) Index() int { return s.typeIndex }
+
 // NumFields returns the number of attributes.
 func (s *Schema) NumFields() int { return len(s.fields) }
 
@@ -99,7 +108,8 @@ func (s *Schema) String() string {
 // once at compile time and is read-only afterwards, so it is safe for
 // concurrent use during execution.
 type Registry struct {
-	byName map[string]*Schema
+	byName  map[string]*Schema
+	ordered []*Schema
 }
 
 // NewRegistry returns an empty schema registry.
@@ -107,14 +117,21 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*Schema)}
 }
 
-// Register adds a schema. Registering a duplicate type name fails.
+// Register adds a schema and assigns its dense Index (registration
+// order). Registering a duplicate type name fails.
 func (r *Registry) Register(s *Schema) error {
 	if _, dup := r.byName[s.name]; dup {
 		return fmt.Errorf("event: duplicate event type %s", s.name)
 	}
+	s.typeIndex = len(r.ordered)
 	r.byName[s.name] = s
+	r.ordered = append(r.ordered, s)
 	return nil
 }
+
+// Schemas returns the registered schemas in Index order. The returned
+// slice is shared; callers must not mutate it.
+func (r *Registry) Schemas() []*Schema { return r.ordered }
 
 // MustRegister is Register that panics on error.
 func (r *Registry) MustRegister(s *Schema) {

@@ -123,12 +123,12 @@ func containsLine(s, sub string) bool {
 
 func TestParsePrimaryErrors(t *testing.T) {
 	bad := []string{
-		"(1 + 2",      // missing close paren
-		"count(1",     // unterminated call
-		"a.",          // missing attr
-		"SEQ",         // keyword as expression
-		"",            // empty
-		"1 +",         // missing operand
+		"(1 + 2",  // missing close paren
+		"count(1", // unterminated call
+		"a.",      // missing attr
+		"SEQ",     // keyword as expression
+		"",        // empty
+		"1 +",     // missing operand
 	}
 	for _, src := range bad {
 		if _, err := ParseExpr(src); err == nil {

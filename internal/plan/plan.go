@@ -287,6 +287,10 @@ func (in *Instance) Exec(now event.Time, batch []*event.Event, evOut []*event.Ev
 	if len(matches) == 0 {
 		return evOut, trOut
 	}
+	// all is the full emission set; once the projection heads below
+	// have materialized derived events, the matches (including the
+	// ones the filters drop) recycle into the pattern's arena.
+	all := matches
 	if in.filter != nil {
 		matches = in.filter.Process(matches, in.stage2[:0])
 		in.stage2 = matches
@@ -295,18 +299,18 @@ func (in *Instance) Exec(now event.Time, batch []*event.Event, evOut []*event.Ev
 		dst := matches[:0]
 		matches = in.winFilter.Process(matches, dst)
 	}
-	if len(matches) == 0 {
-		return evOut, trOut
+	if len(matches) > 0 {
+		for _, pr := range in.projects {
+			evOut = pr.Process(matches, evOut)
+		}
+		if in.agg != nil {
+			evOut = in.agg.Process(matches, evOut)
+		}
+		if in.action != nil {
+			trOut = in.action.Process(now, matches, trOut)
+		}
 	}
-	for _, pr := range in.projects {
-		evOut = pr.Process(matches, evOut)
-	}
-	if in.agg != nil {
-		evOut = in.agg.Process(matches, evOut)
-	}
-	if in.action != nil {
-		trOut = in.action.Process(now, matches, trOut)
-	}
+	in.pattern.Release(all)
 	return evOut, trOut
 }
 

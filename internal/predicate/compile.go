@@ -82,10 +82,12 @@ func (s VarSet) Count() int {
 	return n
 }
 
-// Compiled is an expression compiled against an Env. Eval is
-// allocation-free on the hot path.
+// Compiled is an expression compiled against an Env: a fused
+// evaluation closure built by the lowering pass (lower.go) plus the
+// expression's static facts. Eval is allocation-free on the hot path.
 type Compiled struct {
-	root node
+	fn   evalFn
+	bfn  boolFn // boolean root, or a fn+AsBool wrapper otherwise
 	kind event.Kind
 	vars VarSet
 	src  string
@@ -103,89 +105,12 @@ func (c *Compiled) String() string { return c.src }
 // Eval evaluates against a binding: binding[i] is the event bound to
 // environment slot i. Slots the expression does not read may be nil.
 func (c *Compiled) Eval(binding []*event.Event) event.Value {
-	return c.root.eval(binding)
+	return c.fn(binding)
 }
 
 // EvalBool evaluates a boolean expression.
 func (c *Compiled) EvalBool(binding []*event.Event) bool {
-	return c.root.eval(binding).AsBool()
-}
-
-// node is a compiled expression node.
-type node interface {
-	eval(binding []*event.Event) event.Value
-}
-
-type constNode struct{ v event.Value }
-
-func (n constNode) eval([]*event.Event) event.Value { return n.v }
-
-type attrNode struct {
-	slot  int
-	field int
-}
-
-func (n attrNode) eval(b []*event.Event) event.Value { return b[n.slot].At(n.field) }
-
-type negNode struct{ x node }
-
-func (n negNode) eval(b []*event.Event) event.Value {
-	v := n.x.eval(b)
-	switch v.Kind {
-	case event.KindInt:
-		return event.Int64(-v.Int)
-	case event.KindFloat:
-		return event.Float64(-v.Float)
-	default:
-		return event.Value{}
-	}
-}
-
-type binNode struct {
-	op   lang.Op
-	l, r node
-}
-
-func (n binNode) eval(b []*event.Event) event.Value {
-	switch n.op {
-	case lang.OpAnd:
-		// Short-circuit: right side is skipped when left is false.
-		if !n.l.eval(b).AsBool() {
-			return event.Bool(false)
-		}
-		return event.Bool(n.r.eval(b).AsBool())
-	case lang.OpOr:
-		if n.l.eval(b).AsBool() {
-			return event.Bool(true)
-		}
-		return event.Bool(n.r.eval(b).AsBool())
-	}
-	l, r := n.l.eval(b), n.r.eval(b)
-	switch n.op {
-	case lang.OpEq:
-		return event.Bool(l.Equal(r))
-	case lang.OpNeq:
-		return event.Bool(!l.Equal(r))
-	case lang.OpLt, lang.OpLeq, lang.OpGt, lang.OpGeq:
-		cmp, ok := l.Compare(r)
-		if !ok {
-			return event.Bool(false)
-		}
-		switch n.op {
-		case lang.OpLt:
-			return event.Bool(cmp < 0)
-		case lang.OpLeq:
-			return event.Bool(cmp <= 0)
-		case lang.OpGt:
-			return event.Bool(cmp > 0)
-		default:
-			return event.Bool(cmp >= 0)
-		}
-	case lang.OpAdd, lang.OpSub, lang.OpMul, lang.OpDiv:
-		return arith(n.op, l, r)
-	default:
-		return event.Value{}
-	}
+	return c.bfn(binding)
 }
 
 // arith performs numeric arithmetic. Two integers yield an integer
@@ -231,11 +156,16 @@ func arith(op lang.Op, l, r event.Value) event.Value {
 
 // Compile type-checks and compiles an expression against env.
 func Compile(e lang.Expr, env *Env) (*Compiled, error) {
-	n, kind, vars, err := compileNode(e, env)
+	n, err := compileNode(e, env)
 	if err != nil {
 		return nil, err
 	}
-	return &Compiled{root: n, kind: kind, vars: vars, src: e.String()}, nil
+	bfn := n.bfn
+	if bfn == nil {
+		fn := n.fn
+		bfn = func(b []*event.Event) bool { return fn(b).AsBool() }
+	}
+	return &Compiled{fn: n.fn, bfn: bfn, kind: n.kind, vars: n.vars, src: e.String()}, nil
 }
 
 // CompileBool compiles an expression that must be boolean (a WHERE
@@ -251,43 +181,43 @@ func CompileBool(e lang.Expr, env *Env) (*Compiled, error) {
 	return c, nil
 }
 
-func compileNode(e lang.Expr, env *Env) (node, event.Kind, VarSet, error) {
+func compileNode(e lang.Expr, env *Env) (lowered, error) {
 	switch x := e.(type) {
 	case *lang.ConstExpr:
-		return constNode{v: x.Val}, x.Val.Kind, 0, nil
+		return lowerConst(x.Val), nil
 	case *lang.AttrRef:
 		slot, field, kind, err := resolveAttr(x, env)
 		if err != nil {
-			return nil, 0, 0, err
+			return lowered{}, err
 		}
-		return attrNode{slot: slot, field: field}, kind, VarSet(0).With(slot), nil
+		return lowerAttr(slot, field, kind), nil
 	case *lang.UnaryExpr:
-		n, kind, vars, err := compileNode(x.X, env)
+		n, err := compileNode(x.X, env)
 		if err != nil {
-			return nil, 0, 0, err
+			return lowered{}, err
 		}
-		if kind != event.KindInt && kind != event.KindFloat {
-			return nil, 0, 0, fmt.Errorf("predicate: %s: unary minus needs numeric operand, got %s", x.Pos, kind)
+		if n.kind != event.KindInt && n.kind != event.KindFloat {
+			return lowered{}, fmt.Errorf("predicate: %s: unary minus needs numeric operand, got %s", x.Pos, n.kind)
 		}
-		return negNode{x: n}, kind, vars, nil
+		return lowerNeg(n), nil
 	case *lang.BinaryExpr:
-		l, lk, lv, err := compileNode(x.L, env)
+		l, err := compileNode(x.L, env)
 		if err != nil {
-			return nil, 0, 0, err
+			return lowered{}, err
 		}
-		r, rk, rv, err := compileNode(x.R, env)
+		r, err := compileNode(x.R, env)
 		if err != nil {
-			return nil, 0, 0, err
+			return lowered{}, err
 		}
-		kind, err := resultKind(x, lk, rk)
+		kind, err := resultKind(x, l.kind, r.kind)
 		if err != nil {
-			return nil, 0, 0, err
+			return lowered{}, err
 		}
-		return binNode{op: x.Op, l: l, r: r}, kind, lv | rv, nil
+		return lowerBinary(x.Op, l, r, kind), nil
 	case *lang.CallExpr:
-		return nil, 0, 0, fmt.Errorf("predicate: %s: aggregate %s() is only allowed in the DERIVE arguments of a TUMBLE query", x.Pos, x.Fn)
+		return lowered{}, fmt.Errorf("predicate: %s: aggregate %s() is only allowed in the DERIVE arguments of a TUMBLE query", x.Pos, x.Fn)
 	default:
-		return nil, 0, 0, fmt.Errorf("predicate: unknown expression node %T", e)
+		return lowered{}, fmt.Errorf("predicate: unknown expression node %T", e)
 	}
 }
 

@@ -1,0 +1,499 @@
+package predicate
+
+import (
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+// This file is the lowering pass: it turns a type-checked expression
+// into fused evaluation closures. The previous evaluator walked an
+// interface-dispatched node tree (one dynamic call per operator per
+// event); the lowered form is a single closure per expression with
+//
+//   - constant folding: a subexpression reading no variables is
+//     evaluated once at compile time and becomes a constant;
+//   - typed comparison fast paths: int/int and numeric comparisons
+//     between attribute/constant leaves compile to direct reads of
+//     Value.Int / Value.AsFloat with a one-branch kind guard,
+//     skipping Value.Equal / Value.Compare entirely — this covers
+//     the equi-join and threshold conjuncts that dominate pattern
+//     WHERE clauses;
+//   - boolean fusion: AND/OR chains compose bool closures directly,
+//     so no intermediate Value is materialized between conjuncts.
+//
+// The dynamic kind guards keep the lowered closures semantically
+// identical to the generic evaluator: an attribute can hold the
+// invalid Value (e.g. a derived event whose argument divided by
+// zero), and a float-typed field can hold an int Value, so a fast
+// path only commits when the runtime kinds match its static
+// expectation and otherwise falls back to the generic comparison.
+
+// evalFn evaluates an expression against a binding.
+type evalFn func(b []*event.Event) event.Value
+
+// boolFn evaluates a boolean expression against a binding.
+type boolFn func(b []*event.Event) bool
+
+// lowered is a compiled subexpression: its closure forms plus the
+// static facts the parent lowering step specializes on.
+type lowered struct {
+	fn   evalFn
+	bfn  boolFn // non-nil iff kind == KindBool
+	kind event.Kind
+	vars VarSet
+
+	// isConst marks a folded constant (vars == 0); cv is its value.
+	isConst bool
+	cv      event.Value
+
+	// attr describes an attribute-reference leaf (slot/field); the
+	// comparison lowering fuses loads for these.
+	attr *attrLeaf
+}
+
+type attrLeaf struct {
+	slot, field int
+}
+
+func lowerConst(v event.Value) lowered {
+	l := lowered{kind: v.Kind, isConst: true, cv: v}
+	l.fn = func([]*event.Event) event.Value { return v }
+	if v.Kind == event.KindBool {
+		t := v.AsBool()
+		l.bfn = func([]*event.Event) bool { return t }
+	}
+	return l
+}
+
+func lowerAttr(slot, field int, kind event.Kind) lowered {
+	l := lowered{kind: kind, vars: VarSet(0).With(slot), attr: &attrLeaf{slot: slot, field: field}}
+	l.fn = func(b []*event.Event) event.Value { return b[slot].Values[field] }
+	if kind == event.KindBool {
+		l.bfn = func(b []*event.Event) bool { return b[slot].Values[field].AsBool() }
+	}
+	return l
+}
+
+func lowerNeg(x lowered) lowered {
+	if x.isConst {
+		c := lowerConst(negValue(x.cv))
+		c.kind = x.kind
+		return c
+	}
+	xf := x.fn
+	return lowered{
+		kind: x.kind,
+		vars: x.vars,
+		fn:   func(b []*event.Event) event.Value { return negValue(xf(b)) },
+	}
+}
+
+func negValue(v event.Value) event.Value {
+	switch v.Kind {
+	case event.KindInt:
+		return event.Int64(-v.Int)
+	case event.KindFloat:
+		return event.Float64(-v.Float)
+	default:
+		return event.Value{}
+	}
+}
+
+// lowerBinary lowers op over two lowered operands. kind is the
+// statically checked result kind.
+func lowerBinary(op lang.Op, l, r lowered, kind event.Kind) lowered {
+	// Constant folding: both sides constant means the whole node is.
+	// The folded value may be invalid (e.g. 1/0) — keep the statically
+	// checked kind so downstream kind checks see the declared type.
+	if l.isConst && r.isConst {
+		c := lowerConst(genericBinary(op, l.cv, r.cv))
+		c.kind = kind
+		return c
+	}
+	vars := l.vars | r.vars
+	switch op {
+	case lang.OpAnd:
+		lb, rb := l.bfn, r.bfn
+		// A constant conjunct reduces the AND to the other side (or
+		// to false, handled by the fold above when both are const).
+		if l.isConst {
+			if !l.cv.AsBool() {
+				return lowerConst(event.Bool(false))
+			}
+			return boolLowered(rb, vars)
+		}
+		if r.isConst {
+			if !r.cv.AsBool() {
+				// Left side must still run? No: AND is pure, the
+				// result is false regardless; predicates have no
+				// side effects.
+				return lowerConst(event.Bool(false))
+			}
+			return boolLowered(lb, vars)
+		}
+		return boolLowered(func(b []*event.Event) bool { return lb(b) && rb(b) }, vars)
+	case lang.OpOr:
+		lb, rb := l.bfn, r.bfn
+		if l.isConst {
+			if l.cv.AsBool() {
+				return lowerConst(event.Bool(true))
+			}
+			return boolLowered(rb, vars)
+		}
+		if r.isConst {
+			if r.cv.AsBool() {
+				return lowerConst(event.Bool(true))
+			}
+			return boolLowered(lb, vars)
+		}
+		return boolLowered(func(b []*event.Event) bool { return lb(b) || rb(b) }, vars)
+	case lang.OpEq, lang.OpNeq, lang.OpLt, lang.OpLeq, lang.OpGt, lang.OpGeq:
+		return boolLowered(lowerCompare(op, l, r), vars)
+	default: // arithmetic
+		return lowerArith(op, l, r, kind, vars)
+	}
+}
+
+func boolLowered(bf boolFn, vars VarSet) lowered {
+	return lowered{
+		kind: event.KindBool,
+		vars: vars,
+		bfn:  bf,
+		fn:   func(b []*event.Event) event.Value { return event.Bool(bf(b)) },
+	}
+}
+
+// lowerCompare builds the comparison closure, specializing the
+// int/int and numeric cases on fused attribute/constant loads.
+func lowerCompare(op lang.Op, l, r lowered) boolFn {
+	// Normalize `const OP attr` to `attr flipped-OP const` so the
+	// leaf specializations below only need one orientation.
+	if l.isConst && r.attr != nil {
+		l, r = r, l
+		op = flipOp(op)
+	}
+	lf, rf := l.fn, r.fn
+	// Typed fast paths: both operands statically int. Attribute loads
+	// are fused into a single closure; the kind guard covers invalid
+	// Values (and keeps Eq/Neq semantics: an invalid value is never
+	// equal to anything).
+	if l.kind == event.KindInt && r.kind == event.KindInt {
+		if l.attr != nil && r.attr != nil {
+			return intAttrAttr(op, l.attr, r.attr)
+		}
+		if l.attr != nil && r.isConst {
+			return intAttrConst(op, l.attr, r.cv.Int)
+		}
+		return intCompare(op, lf, rf)
+	}
+	// Numeric mixed (at least one float): compare as float64 after a
+	// Numeric guard, exactly like Value.Compare's numeric path.
+	if numericKind(l.kind) && numericKind(r.kind) {
+		if l.attr != nil && r.isConst {
+			return floatAttrConst(op, l.attr, r.cv.AsFloat())
+		}
+		return floatCompare(op, lf, rf)
+	}
+	// Generic: string/bool equality and ordering via Value methods.
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool { return lf(b).Equal(rf(b)) }
+	case lang.OpNeq:
+		return func(b []*event.Event) bool { return !lf(b).Equal(rf(b)) }
+	default:
+		return func(b []*event.Event) bool {
+			cmp, ok := lf(b).Compare(rf(b))
+			return ok && cmpHolds(op, cmp)
+		}
+	}
+}
+
+func numericKind(k event.Kind) bool { return k == event.KindInt || k == event.KindFloat }
+
+// flipOp mirrors a comparison so its operands can swap sides.
+func flipOp(op lang.Op) lang.Op {
+	switch op {
+	case lang.OpLt:
+		return lang.OpGt
+	case lang.OpLeq:
+		return lang.OpGeq
+	case lang.OpGt:
+		return lang.OpLt
+	case lang.OpGeq:
+		return lang.OpLeq
+	default: // Eq/Neq are symmetric
+		return op
+	}
+}
+
+// intAttrAttr is the equi-join fast path: `x.a OP y.b` over two int
+// attributes compiles to one closure with two direct loads.
+func intAttrAttr(op lang.Op, la, ra *attrLeaf) boolFn {
+	ls, lf, rs, rf := la.slot, la.field, ra.slot, ra.field
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int == rv.Int
+		}
+	case lang.OpNeq:
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return !(lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int == rv.Int)
+		}
+	case lang.OpLt:
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int < rv.Int
+		}
+	case lang.OpLeq:
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int <= rv.Int
+		}
+	case lang.OpGt:
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int > rv.Int
+		}
+	default: // OpGeq
+		return func(b []*event.Event) bool {
+			lv, rv := b[ls].Values[lf], b[rs].Values[rf]
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int >= rv.Int
+		}
+	}
+}
+
+// intAttrConst is the int threshold fast path: `x.a OP c`.
+func intAttrConst(op lang.Op, la *attrLeaf, c int64) boolFn {
+	s, f := la.slot, la.field
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Kind == event.KindInt && v.Int == c
+		}
+	case lang.OpNeq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return !(v.Kind == event.KindInt && v.Int == c)
+		}
+	case lang.OpLt:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Kind == event.KindInt && v.Int < c
+		}
+	case lang.OpLeq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Kind == event.KindInt && v.Int <= c
+		}
+	case lang.OpGt:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Kind == event.KindInt && v.Int > c
+		}
+	default: // OpGeq
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Kind == event.KindInt && v.Int >= c
+		}
+	}
+}
+
+// floatAttrConst is the numeric threshold fast path over a float (or
+// int-in-float) attribute: `x.a OP c`.
+func floatAttrConst(op lang.Op, la *attrLeaf, c float64) boolFn {
+	s, f := la.slot, la.field
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Numeric() && v.AsFloat() == c
+		}
+	case lang.OpNeq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return !(v.Numeric() && v.AsFloat() == c)
+		}
+	case lang.OpLt:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Numeric() && v.AsFloat() < c
+		}
+	case lang.OpLeq:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Numeric() && v.AsFloat() <= c
+		}
+	case lang.OpGt:
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Numeric() && v.AsFloat() > c
+		}
+	default: // OpGeq
+		return func(b []*event.Event) bool {
+			v := b[s].Values[f]
+			return v.Numeric() && v.AsFloat() >= c
+		}
+	}
+}
+
+func intCompare(op lang.Op, lf, rf evalFn) boolFn {
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int == rv.Int
+		}
+	case lang.OpNeq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return !(lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int == rv.Int)
+		}
+	case lang.OpLt:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int < rv.Int
+		}
+	case lang.OpLeq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int <= rv.Int
+		}
+	case lang.OpGt:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int > rv.Int
+		}
+	default: // OpGeq
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Kind == event.KindInt && rv.Kind == event.KindInt && lv.Int >= rv.Int
+		}
+	}
+}
+
+func floatCompare(op lang.Op, lf, rf evalFn) boolFn {
+	switch op {
+	case lang.OpEq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Numeric() && rv.Numeric() && lv.AsFloat() == rv.AsFloat()
+		}
+	case lang.OpNeq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return !(lv.Numeric() && rv.Numeric() && lv.AsFloat() == rv.AsFloat())
+		}
+	case lang.OpLt:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Numeric() && rv.Numeric() && lv.AsFloat() < rv.AsFloat()
+		}
+	case lang.OpLeq:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Numeric() && rv.Numeric() && lv.AsFloat() <= rv.AsFloat()
+		}
+	case lang.OpGt:
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Numeric() && rv.Numeric() && lv.AsFloat() > rv.AsFloat()
+		}
+	default: // OpGeq
+		return func(b []*event.Event) bool {
+			lv, rv := lf(b), rf(b)
+			return lv.Numeric() && rv.Numeric() && lv.AsFloat() >= rv.AsFloat()
+		}
+	}
+}
+
+func cmpHolds(op lang.Op, cmp int) bool {
+	switch op {
+	case lang.OpLt:
+		return cmp < 0
+	case lang.OpLeq:
+		return cmp <= 0
+	case lang.OpGt:
+		return cmp > 0
+	default:
+		return cmp >= 0
+	}
+}
+
+// lowerArith builds the arithmetic closure. Statically int/int
+// operations run on Value.Int with a kind guard; anything involving a
+// float widens once. Division by zero yields the invalid Value (the
+// predicate is then simply unsatisfied), matching arith.
+func lowerArith(op lang.Op, l, r lowered, kind event.Kind, vars VarSet) lowered {
+	lf, rf := l.fn, r.fn
+	var fn evalFn
+	if l.kind == event.KindInt && r.kind == event.KindInt {
+		switch op {
+		case lang.OpAdd:
+			fn = func(b []*event.Event) event.Value {
+				lv, rv := lf(b), rf(b)
+				if lv.Kind == event.KindInt && rv.Kind == event.KindInt {
+					return event.Int64(lv.Int + rv.Int)
+				}
+				return genericBinary(op, lv, rv)
+			}
+		case lang.OpSub:
+			fn = func(b []*event.Event) event.Value {
+				lv, rv := lf(b), rf(b)
+				if lv.Kind == event.KindInt && rv.Kind == event.KindInt {
+					return event.Int64(lv.Int - rv.Int)
+				}
+				return genericBinary(op, lv, rv)
+			}
+		case lang.OpMul:
+			fn = func(b []*event.Event) event.Value {
+				lv, rv := lf(b), rf(b)
+				if lv.Kind == event.KindInt && rv.Kind == event.KindInt {
+					return event.Int64(lv.Int * rv.Int)
+				}
+				return genericBinary(op, lv, rv)
+			}
+		default: // OpDiv
+			fn = func(b []*event.Event) event.Value {
+				lv, rv := lf(b), rf(b)
+				if lv.Kind == event.KindInt && rv.Kind == event.KindInt {
+					if rv.Int == 0 {
+						return event.Value{}
+					}
+					return event.Int64(lv.Int / rv.Int)
+				}
+				return genericBinary(op, lv, rv)
+			}
+		}
+	} else {
+		fn = func(b []*event.Event) event.Value { return genericBinary(op, lf(b), rf(b)) }
+	}
+	return lowered{kind: kind, vars: vars, fn: fn}
+}
+
+// genericBinary is the unspecialized evaluator for one binary
+// operation over already-evaluated operands; the fast-path closures
+// fall back to it when runtime kinds diverge from the static ones,
+// and constant folding uses it at compile time.
+func genericBinary(op lang.Op, l, r event.Value) event.Value {
+	switch op {
+	case lang.OpAnd:
+		return event.Bool(l.AsBool() && r.AsBool())
+	case lang.OpOr:
+		return event.Bool(l.AsBool() || r.AsBool())
+	case lang.OpEq:
+		return event.Bool(l.Equal(r))
+	case lang.OpNeq:
+		return event.Bool(!l.Equal(r))
+	case lang.OpLt, lang.OpLeq, lang.OpGt, lang.OpGeq:
+		cmp, ok := l.Compare(r)
+		if !ok {
+			return event.Bool(false)
+		}
+		return event.Bool(cmpHolds(op, cmp))
+	default:
+		return arith(op, l, r)
+	}
+}

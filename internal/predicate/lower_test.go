@@ -1,0 +1,199 @@
+package predicate
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/lang"
+)
+
+// lowerEnv builds a two-variable environment with int, float, string
+// and bool attributes for exercising every lowering path.
+func lowerEnv(t *testing.T) (*Env, *event.Schema) {
+	t.Helper()
+	s := event.MustSchema("E",
+		event.Field{Name: "i", Kind: event.KindInt},
+		event.Field{Name: "f", Kind: event.KindFloat},
+		event.Field{Name: "s", Kind: event.KindString},
+		event.Field{Name: "b", Kind: event.KindBool},
+	)
+	env := NewEnv()
+	if _, err := env.Add("x", s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := env.Add("y", s); err != nil {
+		t.Fatal(err)
+	}
+	return env, s
+}
+
+func compileSrc(t *testing.T, env *Env, src string) *Compiled {
+	t.Helper()
+	e, err := lang.ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	c, err := Compile(e, env)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c
+}
+
+func TestLoweredComparisonFastPaths(t *testing.T) {
+	env, s := lowerEnv(t)
+	x := event.MustNew(s, 1, event.Int64(10), event.Float64(2.5), event.String("aa"), event.Bool(true))
+	y := event.MustNew(s, 2, event.Int64(10), event.Float64(7.5), event.String("bb"), event.Bool(false))
+	b := []*event.Event{x, y}
+
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		// int attr vs int attr (equi-join shape)
+		{"x.i = y.i", true},
+		{"x.i != y.i", false},
+		{"x.i < y.i", false},
+		{"x.i <= y.i", true},
+		// int attr vs const (threshold shape), both orientations
+		{"x.i > 5", true},
+		{"x.i >= 10", true},
+		{"x.i < 10", false},
+		{"5 < x.i", true},
+		{"10 <= x.i", true},
+		{"15 > x.i", true},
+		{"10 = x.i", true},
+		{"11 != x.i", true},
+		// float thresholds, int/float mixing
+		{"x.f < 3.0", true},
+		{"x.f > y.f", false},
+		{"x.i > 2.5", true},
+		{"2.5 < x.i", true},
+		{"x.f = 2.5", true},
+		// strings and bools take the generic path
+		{"x.s < y.s", true},
+		{"x.s = y.s", false},
+		{"x.b != y.b", true},
+		// arithmetic feeding comparisons
+		{"x.i + 5 = 15", true},
+		{"x.i * 2 > y.i", true},
+		{"-x.i < 0", true},
+		{"x.f + y.f = 10.0", true},
+	}
+	for _, tc := range cases {
+		c := compileSrc(t, env, tc.src)
+		if got := c.EvalBool(b); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestLoweredConstantFolding(t *testing.T) {
+	env, _ := lowerEnv(t)
+	cases := []struct {
+		src  string
+		want event.Value
+	}{
+		{"1 + 2 * 3", event.Int64(7)},
+		{"10 / 4", event.Int64(2)},
+		{"10.0 / 4", event.Float64(2.5)},
+		{"-(2 + 3)", event.Int64(-5)},
+		{"1 < 2", event.Bool(true)},
+		{"1 = 2", event.Bool(false)},
+	}
+	for _, tc := range cases {
+		c := compileSrc(t, env, tc.src)
+		if c.Vars() != 0 {
+			t.Errorf("%s: vars = %v, want none", tc.src, c.Vars())
+		}
+		// A folded constant must evaluate without touching the binding.
+		if got := c.Eval(nil); !got.Equal(tc.want) {
+			t.Errorf("%s = %#v, want %#v", tc.src, got, tc.want)
+		}
+	}
+	// Folded division by zero yields the invalid (falsy) value but
+	// keeps its static kind for downstream type checks.
+	c := compileSrc(t, env, "1 / 0")
+	if c.Kind() != event.KindInt {
+		t.Errorf("1/0 kind = %v, want int", c.Kind())
+	}
+	if v := c.Eval(nil); !v.IsZero() {
+		t.Errorf("1/0 = %#v, want invalid", v)
+	}
+}
+
+func TestLoweredLogicalReduction(t *testing.T) {
+	env, s := lowerEnv(t)
+	x := event.MustNew(s, 1, event.Int64(10), event.Float64(2.5), event.String("aa"), event.Bool(true))
+	b := []*event.Event{x, x}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"1 = 1 AND x.i > 5", true},  // const-true AND reduces to right side
+		{"1 = 2 AND x.i > 5", false}, // const-false AND folds to false
+		{"x.i > 5 AND 1 = 1", true},
+		{"1 = 1 OR x.i > 99", true}, // const-true OR folds to true
+		{"1 = 2 OR x.i > 5", true},
+		{"x.i > 99 OR x.f < 3.0", true},
+		{"x.i > 99 AND x.f < 3.0", false},
+	}
+	for _, tc := range cases {
+		c := compileSrc(t, env, tc.src)
+		if got := c.EvalBool(b); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestLoweredInvalidValueSemantics pins the fast paths to the generic
+// evaluator's handling of the invalid Value: never equal, never
+// ordered, != is true.
+func TestLoweredInvalidValueSemantics(t *testing.T) {
+	env, s := lowerEnv(t)
+	// Build an event whose int attribute holds the invalid Value, as a
+	// derived event does when a DERIVE argument divided by zero.
+	x := event.MustNew(s, 1, event.Int64(0), event.Float64(0), event.String(""), event.Bool(false))
+	x.Values[0] = event.Value{}
+	x.Values[1] = event.Value{}
+	b := []*event.Event{x, x}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"x.i = 0", false},
+		{"x.i != 0", true},
+		{"x.i < 1", false},
+		{"x.i > -1", false},
+		{"x.i = y.i", false}, // invalid on both sides: still not equal
+		{"x.f < 1.0", false},
+		{"x.f != 0.0", true},
+	}
+	for _, tc := range cases {
+		c := compileSrc(t, env, tc.src)
+		if got := c.EvalBool(b); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+// TestLoweredIntInFloatField pins the float fast path over an int
+// Value stored in a float-typed field (event.New permits this).
+func TestLoweredIntInFloatField(t *testing.T) {
+	env, s := lowerEnv(t)
+	x := event.MustNew(s, 1, event.Int64(1), event.Int64(3), event.String(""), event.Bool(false))
+	b := []*event.Event{x, x}
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{"x.f = 3.0", true},
+		{"x.f > 2.5", true},
+		{"x.f < 3.5", true},
+	} {
+		c := compileSrc(t, env, tc.src)
+		if got := c.EvalBool(b); got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}

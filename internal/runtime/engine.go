@@ -353,6 +353,7 @@ func (e *Engine) collect(workers []*worker, partitions int, events, ticks uint64
 	}
 	var lat metrics.LatencyTracker
 	var observed int64
+	schemas := e.m.Registry.Schemas()
 	for _, w := range workers {
 		st.Txns += w.txns
 		st.OutputCount += w.outputs
@@ -361,8 +362,10 @@ func (e *Engine) collect(workers []*worker, partitions int, events, ticks uint64
 		st.InstanceExecs += w.instanceExecs
 		st.EventsFed += w.eventsFed
 		st.HistoryResets += w.historyResets
-		for ty, n := range w.perType {
-			st.PerType[ty] += n
+		for idx, n := range w.perType {
+			if n > 0 {
+				st.PerType[schemas[idx].Name()] += n
+			}
 		}
 		if w.lat.Count() > 0 {
 			lat.Observe(w.lat.Max())

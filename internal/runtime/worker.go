@@ -28,7 +28,9 @@ type worker struct {
 	// the latency metric (see emit).
 	wallNow int64
 
-	// Counters, merged by the engine after the run.
+	// Counters, merged by the engine after the run. perType is dense,
+	// indexed by Schema.Index — one array increment per output event
+	// instead of a string-hash map probe.
 	txns           uint64
 	outputs        uint64
 	transitions    uint64
@@ -36,7 +38,7 @@ type worker struct {
 	instanceExecs  uint64
 	eventsFed      uint64
 	historyResets  uint64
-	perType        map[string]uint64
+	perType        []uint64
 	lat            metrics.LatencyTracker
 	collected      []*event.Event
 }
@@ -46,7 +48,7 @@ func newWorker(e *Engine, id int) *worker {
 		eng:     e,
 		id:      id,
 		ch:      make(chan txnMsg, 256),
-		perType: map[string]uint64{},
+		perType: make([]uint64, e.m.Registry.Len()),
 	}
 }
 
@@ -229,7 +231,9 @@ func (w *worker) emit(events []*event.Event) {
 	}
 	for _, e := range events {
 		w.outputs++
-		w.perType[e.TypeName()]++
+		if idx := e.Schema.Index(); idx < len(w.perType) {
+			w.perType[idx]++
+		}
 		if e.Arrival > 0 {
 			w.lat.Observe(time.Duration(wall - e.Arrival))
 		}

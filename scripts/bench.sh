@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Pattern-kernel benchmark harness: runs the BenchmarkPattern* family
+# plus the engine end-to-end benchmarks and renders the results as
+# BENCH_pattern.json at the repo root. Pure POSIX sh + awk; no
+# dependencies beyond the go toolchain.
+#
+# Usage: scripts/bench.sh [count]   (default benchmark -count is 3;
+# the median run per benchmark is reported)
+set -eu
+cd "$(dirname "$0")/.."
+
+count=${1:-3}
+out=BENCH_pattern.json
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== running pattern kernel benchmarks (count=$count)" >&2
+go test -run=NONE -bench='BenchmarkPattern' -benchmem -count="$count" \
+    ./internal/algebra/ | tee -a "$tmp" >&2
+echo "== running engine benchmarks (count=$count)" >&2
+go test -run=NONE -bench='BenchmarkEngine(ContextAware$|DispatchBound)' -benchmem -count="$count" \
+    . | tee -a "$tmp" >&2
+
+# Parse `BenchmarkName  N  t ns/op [x ns/event]  b B/op  a allocs/op`
+# lines, take the median ns/op run per benchmark, and emit JSON.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    ns = be = bop = aop = "null"
+    for (i = 2; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns  = $i
+        if ($(i+1) == "ns/event")  be  = $i
+        if ($(i+1) == "B/op")      bop = $i
+        if ($(i+1) == "allocs/op") aop = $i
+    }
+    if (ns == "null") next
+    n = ++runs[name]
+    nsv[name, n] = ns; bev[name, n] = be
+    bopv[name, n] = bop; aopv[name, n] = aop
+    if (!(name in seen)) { order[++nb] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n  \"benchmarks\": [\n"
+    for (k = 1; k <= nb; k++) {
+        name = order[k]
+        # median by ns/op: selection sort of the (few) run indices
+        n = runs[name]
+        for (i = 1; i <= n; i++) idx[i] = i
+        for (i = 1; i <= n; i++)
+            for (j = i + 1; j <= n; j++)
+                if (nsv[name, idx[j]] + 0 < nsv[name, idx[i]] + 0) {
+                    t = idx[i]; idx[i] = idx[j]; idx[j] = t
+                }
+        m = idx[int((n + 1) / 2)]
+        printf "    {\"name\": \"%s\", \"ns_per_op\": %s, \"ns_per_event\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, nsv[name, m], bev[name, m], bopv[name, m], aopv[name, m], \
+            (k < nb ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$tmp" > "$out"
+
+echo "== wrote $out" >&2
+cat "$out"

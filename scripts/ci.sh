@@ -1,9 +1,18 @@
 #!/usr/bin/env sh
-# CI-grade verification: vet, build, and the full test suite under the
-# race detector. The distributor/worker hand-off is concurrent by
-# design, so every PR runs with -race.
+# CI-grade verification: formatting, vet, build, the full test suite
+# under the race detector, and a benchmark smoke run. The
+# distributor/worker hand-off is concurrent by design, so every PR
+# runs with -race.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -13,5 +22,11 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# Smoke-run the pattern kernel benchmarks so a change that breaks the
+# steady-state harness (or its alloc accounting) fails CI rather than
+# the next perf investigation.
+echo "== bench smoke (pattern kernel)"
+go test -run=NONE -bench=Pattern -benchtime=100x ./internal/algebra/
 
 echo "== ci OK"
