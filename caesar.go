@@ -51,12 +51,17 @@
 package caesar
 
 import (
+	"io"
+	"net/http"
+	"time"
+
 	"github.com/caesar-cep/caesar/internal/core"
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/linearroad"
 	"github.com/caesar-cep/caesar/internal/model"
 	"github.com/caesar-cep/caesar/internal/pam"
 	"github.com/caesar-cep/caesar/internal/runtime"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // Core engine types.
@@ -69,10 +74,36 @@ type (
 	// Stats reports a run's measurements (maximal latency, counts,
 	// suspension savings).
 	Stats = runtime.Stats
+	// ContextStats is one context type's window activity in Stats.
+	ContextStats = runtime.ContextStats
 	// Model is a compiled CAESAR model: context types with a default
 	// context plus the compiled context-aware queries.
 	Model = model.Model
 )
+
+// Telemetry types (see internal/telemetry and DESIGN.md §3.3): a
+// registry set on Config.Telemetry receives the engine's live metric
+// families; a tracer on Config.Tracer records per-transaction spans.
+type (
+	// TelemetryRegistry is a named view over the engine's lock-free
+	// metric objects, scrapeable as Prometheus text or JSON.
+	TelemetryRegistry = telemetry.Registry
+	// Tracer records stream-transaction spans and logs slow ones.
+	Tracer = telemetry.Tracer
+)
+
+// NewTelemetryRegistry creates an empty metrics registry.
+func NewTelemetryRegistry() *TelemetryRegistry { return telemetry.NewRegistry() }
+
+// NewTracer creates a transaction tracer that logs transactions
+// slower than threshold to w (nil w discards; see telemetry.NewTracer).
+func NewTracer(threshold time.Duration, w io.Writer) *Tracer {
+	return telemetry.NewTracer(threshold, w)
+}
+
+// TelemetryHandler serves a registry over HTTP: /metrics (Prometheus
+// text), /statusz (JSON) and /debug/pprof.
+func TelemetryHandler(r *TelemetryRegistry) http.Handler { return telemetry.Handler(r) }
 
 // Event model types.
 type (

@@ -1,8 +1,12 @@
 package caesar
 
 import (
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 const thermostatSrc = `
@@ -70,6 +74,55 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	if st.SuspendedSkips == 0 {
 		t.Error("alarm plan never suspended in normal context")
+	}
+}
+
+// TestTelemetryFacade exercises the public telemetry surface: a
+// registry and tracer wired through Config, scraped over the HTTP
+// handler after a run.
+func TestTelemetryFacade(t *testing.T) {
+	reg := NewTelemetryRegistry()
+	var slowLog strings.Builder
+	eng, err := NewFromSource(thermostatSrc, Config{
+		PartitionBy: []string{"sensor"},
+		Workers:     2,
+		Telemetry:   reg,
+		Tracer:      NewTracer(time.Nanosecond, &slowLog), // everything is "slow"
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := eng.Run(thermostatStream(t, eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(TelemetryHandler(reg))
+	defer srv.Close()
+	res, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"caesar_events_total 6",
+		`caesar_context_activations_total{context="overheated"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if cs := st.Contexts["overheated"]; cs.Activations != 1 || cs.Suspensions != 1 {
+		t.Errorf("overheated window stats = %+v", cs)
+	}
+	if !strings.Contains(slowLog.String(), "slow txn") {
+		t.Errorf("tracer logged nothing at 1ns threshold: %q", slowLog.String())
+	}
+	if st.TxnMax <= 0 {
+		t.Error("txn timing not populated with tracer attached")
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -25,6 +26,7 @@ import (
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/model"
 	"github.com/caesar-cep/caesar/internal/server"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 func main() {
@@ -38,6 +40,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
 	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
 	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
+	admin := flag.String("admin", "", "serve /metrics, /statusz and /debug/pprof on this HTTP address")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -62,7 +65,7 @@ func main() {
 		keys = strings.Split(*partitionBy, ",")
 	}
 	if *listen != "" {
-		serve(m, *listen, keys, *baseline, *noPushdown, *share, *workers, *pacing)
+		serve(m, *listen, *admin, keys, *baseline, *noPushdown, *share, *workers, *pacing)
 		return
 	}
 	out := event.NewWriter(os.Stdout)
@@ -73,6 +76,11 @@ func main() {
 		PartitionBy:        keys,
 		Workers:            *workers,
 		Pacing:             *pacing,
+	}
+	if *admin != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = reg
+		startAdmin(*admin, telemetry.Handler(reg))
 	}
 	if !*quiet {
 		var mu sync.Mutex
@@ -108,7 +116,7 @@ func main() {
 
 // serve runs the TCP session server (see internal/server): each
 // connection streams events in and derived events out.
-func serve(m *model.Model, addr string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration) {
+func serve(m *model.Model, addr, admin string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration) {
 	srv, err := server.New(server.Config{
 		Model: m,
 		Engine: core.Config{
@@ -123,6 +131,9 @@ func serve(m *model.Model, addr string, keys []string, baseline, noPushdown, sha
 	if err != nil {
 		fail(err)
 	}
+	if admin != "" {
+		startAdmin(admin, srv.AdminHandler())
+	}
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		fail(err)
@@ -131,6 +142,21 @@ func serve(m *model.Model, addr string, keys []string, baseline, noPushdown, sha
 	if err := srv.Serve(l); err != nil {
 		fail(err)
 	}
+}
+
+// startAdmin serves the telemetry admin surface on its own goroutine
+// and announces the bound address (":0" picks a free port).
+func startAdmin(addr string, h http.Handler) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "caesar: admin on %s\n", l.Addr())
+	go func() {
+		if err := http.Serve(l, h); err != nil {
+			fmt.Fprintln(os.Stderr, "caesar: admin:", err)
+		}
+	}()
 }
 
 func sortedKeys(m map[string]uint64) []string {

@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // buildCmd compiles a command of this module into dir and returns the
@@ -95,6 +99,101 @@ func TestPipelineEndToEnd(t *testing.T) {
 	if !strings.Contains(string(dotOut), "digraph caesar") {
 		t.Errorf("dot output:\n%s", dotOut)
 	}
+}
+
+// TestAdminEndpointSmoke replays a short paced Linear Road stream
+// with -admin enabled and scrapes /metrics and /statusz while the
+// run is live.
+func TestAdminEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	lrgen := buildCmd(t, dir, "./cmd/lrgen")
+	caesarBin := buildCmd(t, dir, "./cmd/caesar")
+
+	modelOut, err := exec.Command(lrgen, "-model").Output()
+	if err != nil {
+		t.Fatalf("lrgen -model: %v", err)
+	}
+	modelPath := filepath.Join(dir, "traffic.caesar")
+	if err := os.WriteFile(modelPath, modelOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := exec.Command(lrgen, "-roads", "1", "-segments", "4", "-duration", "400").Output()
+	if err != nil {
+		t.Fatalf("lrgen: %v", err)
+	}
+
+	// Pacing stretches the replay to ~2s of wall time so the scrape
+	// below observes a live run.
+	run := exec.Command(caesarBin, "-model", modelPath, "-partition-by", "xway,dir,seg",
+		"-quiet", "-admin", "127.0.0.1:0", "-pacing", "5ms")
+	run.Stdin = bytes.NewReader(events)
+	stderrPipe, err := run.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Wait()
+	defer run.Process.Kill()
+
+	sc := bufio.NewScanner(stderrPipe)
+	var addr string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "caesar: admin on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("admin address not announced on stderr")
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	metrics := scrape(t, "http://"+addr+"/metrics", "caesar_events_total")
+	for _, want := range []string{
+		"caesar_events_total",
+		"caesar_worker_txns_total",
+		`caesar_txn_latency_ns{worker="0",quantile="0.99"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	statusz := scrape(t, "http://"+addr+"/statusz", "caesar_events_total")
+	if !strings.Contains(statusz, "caesar_worker_txns_total") {
+		t.Errorf("/statusz missing worker counters: %s", statusz)
+	}
+}
+
+// scrape polls the URL until the body contains want (the run may not
+// have registered its metrics yet) or a deadline passes.
+func scrape(t *testing.T, url, want string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var last string
+	for time.Now().Before(deadline) {
+		res, err := http.Get(url)
+		if err == nil {
+			b, rerr := io.ReadAll(res.Body)
+			res.Body.Close()
+			if rerr == nil {
+				last = string(b)
+				if strings.Contains(last, want) {
+					return last
+				}
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("scrape %s: %q never appeared; last body:\n%s", url, want, last)
+	return ""
 }
 
 func TestCaesarUsageErrors(t *testing.T) {

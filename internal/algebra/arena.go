@@ -38,6 +38,12 @@ type kernelArena struct {
 
 	matchFree []*Match
 	pendFree  []*pendingMatch
+
+	// chunks counts slab allocations (partial and binding chunks) —
+	// the arena's growth, surfaced by the telemetry layer as the
+	// per-operator occupancy signal: a steady state allocates no new
+	// chunks, so the counter flat-lines once the free lists warm up.
+	chunks int
 }
 
 // chunkSize is the number of records (or binding regions) carved from
@@ -58,6 +64,7 @@ func (a *kernelArena) getPartial() *partial {
 	if a.partialUsed == len(a.partialChunk) {
 		a.partialChunk = make([]partial, chunkSize)
 		a.partialUsed = 0
+		a.chunks++
 	}
 	p := &a.partialChunk[a.partialUsed]
 	a.partialUsed++
@@ -86,6 +93,7 @@ func (a *kernelArena) getBinding() []*event.Event {
 	if a.bindUsed+a.stride > len(a.bindChunk) {
 		a.bindChunk = make([]*event.Event, a.stride*chunkSize)
 		a.bindUsed = 0
+		a.chunks++
 	}
 	b := a.bindChunk[a.bindUsed : a.bindUsed+a.stride : a.bindUsed+a.stride]
 	a.bindUsed += a.stride

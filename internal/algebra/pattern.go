@@ -191,6 +191,11 @@ func (p *Pattern) Release(ms []*Match) {
 	}
 }
 
+// ArenaChunks reports how many slabs the operator's arena has
+// allocated over its lifetime — the telemetry layer's occupancy
+// signal (a warmed steady state allocates none).
+func (p *Pattern) ArenaChunks() int { return p.arena.chunks }
+
 // MemoryFootprint returns the number of retained partials, buffered
 // negation events and pending matches; the garbage collector and
 // tests observe it.

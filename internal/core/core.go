@@ -16,6 +16,7 @@ import (
 	"github.com/caesar-cep/caesar/internal/optimizer"
 	"github.com/caesar-cep/caesar/internal/plan"
 	"github.com/caesar-cep/caesar/internal/runtime"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // Config selects the execution strategy and tuning knobs of an
@@ -53,6 +54,12 @@ type Config struct {
 	// OnOutput receives every derived event; called concurrently
 	// from worker goroutines.
 	OnOutput func(*event.Event)
+	// Telemetry, when non-nil, receives the runtime's live metric
+	// families on each Run (see runtime.Config.Telemetry).
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records per-transaction spans and logs
+	// transactions slower than its threshold.
+	Tracer *telemetry.Tracer
 }
 
 // Engine is a compiled, optimized, runnable CAESAR system.
@@ -95,6 +102,8 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		Pacing:         cfg.Pacing,
 		CollectOutputs: cfg.CollectOutputs,
 		OnOutput:       cfg.OnOutput,
+		Telemetry:      cfg.Telemetry,
+		Tracer:         cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err

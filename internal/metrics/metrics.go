@@ -6,55 +6,44 @@
 package metrics
 
 import (
-	"sync/atomic"
 	"time"
+
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // LatencyTracker accumulates latency observations from concurrent
-// workers without locks.
+// workers without locks. It is a thin veneer over the telemetry
+// histogram (internal/telemetry), which adds quantile extraction and
+// guards the sum against int64 overflow on very long runs: the sum
+// saturates at math.MaxInt64 instead of wrapping, so Mean can never
+// go negative.
 type LatencyTracker struct {
-	max   atomic.Int64
-	sum   atomic.Int64
-	count atomic.Int64
+	h telemetry.Histogram
 }
 
-// Observe records one latency sample.
-func (t *LatencyTracker) Observe(d time.Duration) {
-	n := int64(d)
-	if n < 0 {
-		n = 0
-	}
-	for {
-		cur := t.max.Load()
-		if n <= cur || t.max.CompareAndSwap(cur, n) {
-			break
-		}
-	}
-	t.sum.Add(n)
-	t.count.Add(1)
-}
+// Observe records one latency sample. Negative durations clamp to 0.
+func (t *LatencyTracker) Observe(d time.Duration) { t.h.ObserveDuration(d) }
 
 // Max returns the maximal observed latency.
-func (t *LatencyTracker) Max() time.Duration { return time.Duration(t.max.Load()) }
+func (t *LatencyTracker) Max() time.Duration { return time.Duration(t.h.Max()) }
 
-// Mean returns the mean observed latency (0 with no samples).
-func (t *LatencyTracker) Mean() time.Duration {
-	c := t.count.Load()
-	if c == 0 {
-		return 0
-	}
-	return time.Duration(t.sum.Load() / c)
+// Mean returns the mean observed latency (0 with no samples; an
+// upper-bound estimate once the sum has saturated).
+func (t *LatencyTracker) Mean() time.Duration { return time.Duration(t.h.Mean()) }
+
+// Quantile returns the q-quantile (0 < q <= 1) of the observed
+// distribution, within 12.5% relative error (see telemetry's
+// log-linear bucketing); the 1.0 quantile is the exact maximum.
+func (t *LatencyTracker) Quantile(q float64) time.Duration {
+	s := t.h.Snapshot()
+	return time.Duration(s.Quantile(q))
 }
 
 // Count returns the number of samples.
-func (t *LatencyTracker) Count() int64 { return t.count.Load() }
+func (t *LatencyTracker) Count() int64 { return int64(t.h.Count()) }
 
 // Reset clears the tracker.
-func (t *LatencyTracker) Reset() {
-	t.max.Store(0)
-	t.sum.Store(0)
-	t.count.Store(0)
-}
+func (t *LatencyTracker) Reset() { t.h.Reset() }
 
 // WinRatio is the paper's headline metric: the maximal latency of the
 // baseline divided by the maximal latency of the contender (§7.1).

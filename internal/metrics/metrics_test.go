@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -55,6 +56,40 @@ func TestLatencyTrackerConcurrent(t *testing.T) {
 	}
 	if lt.Count() != 8000 {
 		t.Errorf("count = %d", lt.Count())
+	}
+}
+
+// TestLatencyTrackerMeanOverflow is the regression test for the
+// int64 sum overflow: with samples large enough that the running sum
+// exceeds math.MaxInt64, Mean must saturate high instead of wrapping
+// negative.
+func TestLatencyTrackerMeanOverflow(t *testing.T) {
+	var lt LatencyTracker
+	huge := time.Duration(math.MaxInt64 / 2)
+	for i := 0; i < 5; i++ {
+		lt.Observe(huge)
+	}
+	if m := lt.Mean(); m < 0 {
+		t.Fatalf("mean wrapped negative: %v", m)
+	} else if m < huge/5 {
+		t.Fatalf("saturated mean implausibly small: %v", m)
+	}
+	if lt.Max() != huge {
+		t.Errorf("max = %v", lt.Max())
+	}
+}
+
+func TestLatencyTrackerQuantile(t *testing.T) {
+	var lt LatencyTracker
+	for i := 1; i <= 100; i++ {
+		lt.Observe(time.Duration(i) * time.Millisecond)
+	}
+	p50 := lt.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 60*time.Millisecond {
+		t.Errorf("p50 = %v, want ~50ms", p50)
+	}
+	if got := lt.Quantile(1); got != 100*time.Millisecond {
+		t.Errorf("p100 = %v, want exact max", got)
 	}
 }
 

@@ -331,3 +331,7 @@ func (in *Instance) PatternStats() algebra.PatternStats { return in.pattern.Stat
 func (in *Instance) Footprint() (partials, negBuffered, pending int) {
 	return in.pattern.MemoryFootprint()
 }
+
+// ArenaChunks reports the pattern arena's lifetime slab allocations
+// (see Pattern.ArenaChunks).
+func (in *Instance) ArenaChunks() int { return in.pattern.ArenaChunks() }

@@ -101,6 +101,10 @@ type distributor struct {
 	active  []*partition // partitions hit this tick, in first-seen order
 	pending []*txnBuf    // per-worker transaction batch, parallel to workers
 	control *partition   // lazily interned control partition
+
+	// rm, when set by the engine, carries the partition-count gauge
+	// (the distributor runs on the Run goroutine — single writer).
+	rm *runMetrics
 }
 
 func newDistributor(workers []*worker, partBy []string) *distributor {
@@ -166,6 +170,9 @@ func (d *distributor) intern(key string) *partition {
 		worker: d.workers[fnv1a(key)%uint32(len(d.workers))],
 	}
 	d.table[key] = p
+	if d.rm != nil {
+		d.rm.partitions.Set(int64(len(d.table)))
+	}
 	return p
 }
 

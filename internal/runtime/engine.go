@@ -31,10 +31,10 @@ import (
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
-	"github.com/caesar-cep/caesar/internal/metrics"
 	"github.com/caesar-cep/caesar/internal/model"
 	"github.com/caesar-cep/caesar/internal/optimizer"
 	"github.com/caesar-cep/caesar/internal/plan"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // Mode selects the execution strategy.
@@ -88,6 +88,18 @@ type Config struct {
 	// OnOutput, when set, is invoked for every derived output event.
 	// It is called concurrently from worker goroutines.
 	OnOutput func(*event.Event)
+	// Telemetry, when set, registers the run's live metrics with the
+	// registry: per-worker transaction counters and latency
+	// histograms, per-context window activity, per-query operator
+	// counters and queue-depth gauges. Stats is derived from the same
+	// metric objects, so a live scrape and the end-of-run report
+	// agree. When nil, only the always-on counters run (plain atomic
+	// adds); per-query detail and per-transaction timing are skipped.
+	Telemetry *telemetry.Registry
+	// Tracer, when set, records one span per stream transaction and
+	// logs transactions slower than its threshold. Enabling the
+	// tracer also enables per-transaction timing.
+	Tracer *telemetry.Tracer
 }
 
 // Stats reports a run's measurements.
@@ -111,12 +123,36 @@ type Stats struct {
 	Partitions    int
 	MaxLatency    time.Duration
 	MeanLatency   time.Duration
-	WallTime      time.Duration
+	// P50/P95/P99Latency are quantiles of the arrival-to-derivation
+	// latency distribution (log-scale histogram, ≤12.5% relative
+	// error; MaxLatency stays exact).
+	P50Latency time.Duration
+	P95Latency time.Duration
+	P99Latency time.Duration
+	// TxnP50/TxnP99/TxnMax summarize per-transaction execution wall
+	// time. Populated only when Config.Telemetry or Config.Tracer is
+	// set (transaction timing is off otherwise).
+	TxnP50   time.Duration
+	TxnP99   time.Duration
+	TxnMax   time.Duration
+	WallTime time.Duration
 	// PerType counts outputs by event type.
 	PerType map[string]uint64
+	// Contexts reports the stream router's per-context window
+	// activity by context name: windows opened and closed, summed
+	// over all partitions.
+	Contexts map[string]ContextStats
 	// Outputs holds the derived events, sorted by occurrence end
 	// time then rendering (only with Config.CollectOutputs).
 	Outputs []*event.Event
+}
+
+// ContextStats is one context type's window activity.
+type ContextStats struct {
+	// Activations counts windows opened (context initiations that
+	// flipped the bit), Suspensions windows closed.
+	Activations uint64
+	Suspensions uint64
 }
 
 // Engine executes a plan over event streams.
@@ -124,6 +160,9 @@ type Engine struct {
 	cfg    Config
 	groups []groupSpec
 	m      *model.Model
+	// queryNames labels the per-query metric families; indexed by
+	// execUnit.qmIdx (one slot per distinct query across groups).
+	queryNames []string
 }
 
 // execUnit is one instantiable query plan with its effective context
@@ -135,6 +174,10 @@ type execUnit struct {
 	mask     uint64
 	countOut bool
 	fused    []*model.Query
+	// qmIdx addresses the unit's queryMetrics slot (shared by every
+	// group instantiating the same query in context-independent
+	// mode).
+	qmIdx int
 }
 
 // groupSpec describes one context-vector scope: context-aware mode
@@ -167,7 +210,29 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.indexQueries()
 	return e, nil
+}
+
+// indexQueries assigns each distinct query a dense metrics slot. In
+// context-independent mode the same query appears in several groups;
+// all its units share one slot, so the per-query counters aggregate
+// over the private re-derivations exactly like Stats does.
+func (e *Engine) indexQueries() {
+	byID := map[int]int{}
+	for gi := range e.groups {
+		units := e.groups[gi].units
+		for ui := range units {
+			id := units[ui].qp.Query.ID
+			idx, ok := byID[id]
+			if !ok {
+				idx = len(e.queryNames)
+				byID[id] = idx
+				e.queryNames = append(e.queryNames, units[ui].qp.Query.Name)
+			}
+			units[ui].qmIdx = idx
+		}
+	}
 }
 
 func buildGroups(cfg Config) ([]groupSpec, error) {
@@ -274,24 +339,26 @@ func (e *Engine) Groups() (groups, instances int) {
 // rebuilt on each call.
 func (e *Engine) Run(src event.Source) (*Stats, error) {
 	start := time.Now()
+	rm := newRunMetrics(e, e.cfg.Workers)
 	workers := make([]*worker, e.cfg.Workers)
 	var wg sync.WaitGroup
 	for i := range workers {
-		workers[i] = newWorker(e, i)
+		workers[i] = newWorker(e, i, rm)
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
 			w.loop()
 		}(workers[i])
 	}
+	rm.register(e.cfg.Telemetry, e, workers)
 	dist := newDistributor(workers, e.cfg.PartitionBy)
+	dist.rm = rm
 
-	var totalEvents, ticks uint64
 	var appStart event.Time
 	appStartSet := false
 
 	dispatchTick := func(ts event.Time, evs []*event.Event) {
-		ticks++
+		rm.ticks.Inc()
 		if e.cfg.Pacing > 0 {
 			if !appStartSet {
 				appStart, appStartSet = ts, true
@@ -308,7 +375,7 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 	var curTS event.Time
 	var orderErr error
 	for ev := src.Next(); ev != nil; ev = src.Next() {
-		totalEvents++
+		rm.events.Inc()
 		ts := ev.End()
 		if ts < curTS {
 			// Events must arrive in-order by time stamp (§6.2);
@@ -340,48 +407,58 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 			return nil, err
 		}
 	}
-	return e.collect(workers, len(dist.table), totalEvents, ticks, time.Since(start)), nil
+	return e.collect(rm, workers, len(dist.table), time.Since(start)), nil
 }
 
-func (e *Engine) collect(workers []*worker, partitions int, events, ticks uint64, wall time.Duration) *Stats {
+// collect derives the run's Stats from the run's metric objects —
+// the same objects a live /metrics scrape reads — so batch and
+// serving paths report identical numbers.
+func (e *Engine) collect(rm *runMetrics, workers []*worker, partitions int, wall time.Duration) *Stats {
 	st := &Stats{
-		Events:     events,
-		Ticks:      ticks,
+		Events:     rm.events.Value(),
+		Ticks:      rm.ticks.Value(),
 		WallTime:   wall,
 		Partitions: partitions,
 		PerType:    map[string]uint64{},
+		Contexts:   map[string]ContextStats{},
 	}
-	var lat metrics.LatencyTracker
-	var observed int64
-	schemas := e.m.Registry.Schemas()
+	var txnLat telemetry.HistogramSnapshot
 	for _, w := range workers {
-		st.Txns += w.txns
-		st.OutputCount += w.outputs
-		st.Transitions += w.transitions
-		st.SuspendedSkips += w.suspendedSkips
-		st.InstanceExecs += w.instanceExecs
-		st.EventsFed += w.eventsFed
-		st.HistoryResets += w.historyResets
-		for idx, n := range w.perType {
-			if n > 0 {
-				st.PerType[schemas[idx].Name()] += n
-			}
-		}
-		if w.lat.Count() > 0 {
-			lat.Observe(w.lat.Max())
-		}
-		st.MeanLatency += time.Duration(int64(w.lat.Mean()) * w.lat.Count())
-		observed += w.lat.Count()
+		wm := w.wm
+		st.Txns += wm.txns.Value()
+		st.OutputCount += wm.outputs.Value()
+		st.Transitions += wm.transitions.Value()
+		st.SuspendedSkips += wm.suspendedSkips.Value()
+		st.InstanceExecs += wm.instanceExecs.Value()
+		st.EventsFed += wm.eventsFed.Value()
+		st.HistoryResets += wm.historyResets.Value()
+		txnLat.Merge(wm.txnLatency.Snapshot())
 		if e.cfg.CollectOutputs {
 			st.Outputs = append(st.Outputs, w.collected...)
 		}
 	}
-	if observed > 0 {
-		st.MeanLatency /= time.Duration(observed)
-	} else {
-		st.MeanLatency = 0
+	schemas := e.m.Registry.Schemas()
+	for idx := range rm.perType {
+		if n := rm.perType[idx].Value(); n > 0 {
+			st.PerType[schemas[idx].Name()] += n
+		}
 	}
-	st.MaxLatency = lat.Max()
+	for i := range rm.ctx {
+		cm := &rm.ctx[i]
+		acts, susps := cm.activations.Value(), cm.suspensions.Value()
+		if acts > 0 || susps > 0 {
+			st.Contexts[e.m.Contexts[i].Name] = ContextStats{Activations: acts, Suspensions: susps}
+		}
+	}
+	lat := rm.outputLatency.Snapshot()
+	st.MaxLatency = time.Duration(lat.Max)
+	st.MeanLatency = time.Duration(lat.Mean())
+	st.P50Latency = time.Duration(lat.Quantile(0.5))
+	st.P95Latency = time.Duration(lat.Quantile(0.95))
+	st.P99Latency = time.Duration(lat.Quantile(0.99))
+	st.TxnP50 = time.Duration(txnLat.Quantile(0.5))
+	st.TxnP99 = time.Duration(txnLat.Quantile(0.99))
+	st.TxnMax = time.Duration(txnLat.Max)
 	if e.cfg.CollectOutputs {
 		sort.SliceStable(st.Outputs, func(i, j int) bool {
 			a, b := st.Outputs[i], st.Outputs[j]

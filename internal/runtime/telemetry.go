@@ -1,0 +1,156 @@
+package runtime
+
+import (
+	"strconv"
+
+	"github.com/caesar-cep/caesar/internal/telemetry"
+)
+
+// runMetrics is one Run's metric set (see DESIGN.md §3.3). The
+// metric objects are plain atomic structs owned by the run; Stats is
+// derived from them at the end of the run, and when a telemetry
+// registry is configured the same objects are registered there, so
+// the live /metrics view and the end-of-run Stats report identical
+// numbers by construction.
+//
+// Layout follows the writers: per-worker metrics are written by
+// exactly one goroutine each (no contention, no false sharing — each
+// workerMetrics is its own allocation); engine-level metrics are
+// either single-writer (events/ticks/partitions belong to the Run
+// goroutine) or written on cold paths (context transitions) and
+// per-derived-event paths (output latency, per-type counts), where
+// cross-worker contention is bounded by the output rate, not the
+// input rate.
+type runMetrics struct {
+	events     telemetry.Counter // input events (Run goroutine)
+	ticks      telemetry.Counter // dispatched ticks (Run goroutine)
+	partitions telemetry.Gauge   // interned partitions (Run goroutine)
+
+	// outputLatency tracks arrival→derivation latency per derived
+	// event in nanoseconds (the paper's latency metric, §7.1).
+	outputLatency telemetry.Histogram
+	// perType counts derived events by schema index.
+	perType []telemetry.Counter
+
+	// ctx is indexed by context index: the stream router's
+	// per-context window activity.
+	ctx []ctxMetrics
+
+	workers []*workerMetrics
+
+	// query is indexed by execUnit.qmIdx: per-operator counters.
+	// Updated only when detail is set (a registry or tracer is
+	// attached) — the plain Stats path never pays for them.
+	query  []queryMetrics
+	detail bool
+
+	tracer *telemetry.Tracer
+}
+
+// ctxMetrics is the router's per-context activity: activations
+// (windows opened), suspensions (windows closed) and the lifetime of
+// closed windows in application time units.
+type ctxMetrics struct {
+	activations telemetry.Counter
+	suspensions telemetry.Counter
+	lifetime    telemetry.Histogram
+}
+
+// workerMetrics mirrors the former plain per-worker counters as
+// atomics, so a live scraper can read them mid-run without torn
+// reads. Each instance is written by its worker goroutine only.
+type workerMetrics struct {
+	txns           telemetry.Counter
+	outputs        telemetry.Counter
+	transitions    telemetry.Counter
+	suspendedSkips telemetry.Counter
+	instanceExecs  telemetry.Counter
+	eventsFed      telemetry.Counter
+	historyResets  telemetry.Counter
+	// txnLatency is the per-worker stream-transaction execution time
+	// in nanoseconds; only fed when txn timing is on (detail mode).
+	txnLatency telemetry.Histogram
+}
+
+// queryMetrics is the per-operator breakdown of one query plan,
+// aggregated over all partitions.
+type queryMetrics struct {
+	execs       telemetry.Counter
+	matches     telemetry.Counter
+	filteredOut telemetry.Counter
+	negated     telemetry.Counter
+	arenaChunks telemetry.Counter
+	partials    telemetry.Gauge
+	negBuffered telemetry.Gauge
+	pending     telemetry.Gauge
+}
+
+func newRunMetrics(e *Engine, nWorkers int) *runMetrics {
+	rm := &runMetrics{
+		perType: make([]telemetry.Counter, e.m.Registry.Len()),
+		ctx:     make([]ctxMetrics, len(e.m.Contexts)),
+		workers: make([]*workerMetrics, nWorkers),
+		query:   make([]queryMetrics, len(e.queryNames)),
+		detail:  e.cfg.Telemetry != nil || e.cfg.Tracer != nil,
+		tracer:  e.cfg.Tracer,
+	}
+	for i := range rm.workers {
+		rm.workers[i] = &workerMetrics{}
+	}
+	return rm
+}
+
+// register attaches the run's metric objects to the registry. Called
+// once per Run; re-registration replaces the previous run's entries
+// (telemetry.Registry documents the replace semantics).
+func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*worker) {
+	if reg == nil {
+		return
+	}
+	reg.Register("caesar_events_total", "input events consumed", &rm.events)
+	reg.Register("caesar_ticks_total", "application time ticks dispatched", &rm.ticks)
+	reg.Register("caesar_partitions", "stream partitions interned", &rm.partitions)
+	reg.Register("caesar_output_latency_ns", "arrival-to-derivation latency of derived events", &rm.outputLatency)
+
+	schemas := e.m.Registry.Schemas()
+	for i := range rm.perType {
+		reg.Register("caesar_outputs_by_type_total", "derived events by type",
+			&rm.perType[i], telemetry.Label{Key: "type", Value: schemas[i].Name()})
+	}
+	for i := range rm.ctx {
+		lbl := telemetry.Label{Key: "context", Value: e.m.Contexts[i].Name}
+		reg.Register("caesar_context_activations_total", "context windows opened", &rm.ctx[i].activations, lbl)
+		reg.Register("caesar_context_suspensions_total", "context windows closed", &rm.ctx[i].suspensions, lbl)
+		reg.Register("caesar_context_window_ticks", "closed context window lifetime in application time units", &rm.ctx[i].lifetime, lbl)
+	}
+	for i, wm := range rm.workers {
+		lbl := telemetry.Label{Key: "worker", Value: strconv.Itoa(i)}
+		reg.Register("caesar_worker_txns_total", "stream transactions executed", &wm.txns, lbl)
+		reg.Register("caesar_worker_outputs_total", "derived events emitted", &wm.outputs, lbl)
+		reg.Register("caesar_worker_transitions_total", "context transitions applied", &wm.transitions, lbl)
+		reg.Register("caesar_worker_suspended_skips_total", "plan executions skipped by the router", &wm.suspendedSkips, lbl)
+		reg.Register("caesar_worker_instance_execs_total", "plan executions performed", &wm.instanceExecs, lbl)
+		reg.Register("caesar_worker_events_fed_total", "events delivered to active plans", &wm.eventsFed, lbl)
+		reg.Register("caesar_worker_history_resets_total", "context history discards", &wm.historyResets, lbl)
+		reg.Register("caesar_txn_latency_ns", "stream transaction execution time", &wm.txnLatency, lbl)
+		w := workers[i]
+		reg.Register("caesar_worker_queue_depth", "transactions queued at the worker",
+			telemetry.GaugeFunc(func() int64 { return int64(len(w.ch)) }), lbl)
+	}
+	for i := range rm.query {
+		lbl := telemetry.Label{Key: "query", Value: e.queryNames[i]}
+		qm := &rm.query[i]
+		reg.Register("caesar_query_execs_total", "plan executions", &qm.execs, lbl)
+		reg.Register("caesar_query_matches_total", "pattern matches emitted", &qm.matches, lbl)
+		reg.Register("caesar_query_filtered_total", "matches rejected by predicates", &qm.filteredOut, lbl)
+		reg.Register("caesar_query_negated_total", "matches invalidated by negation", &qm.negated, lbl)
+		reg.Register("caesar_query_arena_chunks_total", "arena slabs allocated", &qm.arenaChunks, lbl)
+		reg.Register("caesar_query_partials", "retained partial matches", &qm.partials, lbl)
+		reg.Register("caesar_query_neg_buffered", "buffered negation events", &qm.negBuffered, lbl)
+		reg.Register("caesar_query_pending", "matches awaiting a negation deadline", &qm.pending, lbl)
+	}
+	if rm.tracer != nil {
+		reg.Register("caesar_txn_spans_total", "transaction spans recorded", &rm.tracer.Spans)
+		reg.Register("caesar_slow_txns_total", "transactions at or above the slow threshold", &rm.tracer.Slow)
+	}
+}

@@ -5,7 +5,6 @@ import (
 
 	"github.com/caesar-cep/caesar/internal/algebra"
 	"github.com/caesar-cep/caesar/internal/event"
-	"github.com/caesar-cep/caesar/internal/metrics"
 	"github.com/caesar-cep/caesar/internal/plan"
 )
 
@@ -28,27 +27,28 @@ type worker struct {
 	// the latency metric (see emit).
 	wallNow int64
 
-	// Counters, merged by the engine after the run. perType is dense,
-	// indexed by Schema.Index — one array increment per output event
-	// instead of a string-hash map probe.
-	txns           uint64
-	outputs        uint64
-	transitions    uint64
-	suspendedSkips uint64
-	instanceExecs  uint64
-	eventsFed      uint64
-	historyResets  uint64
-	perType        []uint64
-	lat            metrics.LatencyTracker
-	collected      []*event.Event
+	// rm is the run's metric set; wm the worker's own slice of it
+	// (single-writer, see runMetrics). timed enables per-transaction
+	// wall timing — on only when a registry or tracer is attached, so
+	// the plain path performs no extra clock reads.
+	rm    *runMetrics
+	wm    *workerMetrics
+	timed bool
+	// execsInTxn counts plan executions within the current
+	// transaction for the tracer's slow-transaction log line.
+	execsInTxn int
+
+	collected []*event.Event
 }
 
-func newWorker(e *Engine, id int) *worker {
+func newWorker(e *Engine, id int, rm *runMetrics) *worker {
 	return &worker{
-		eng:     e,
-		id:      id,
-		ch:      make(chan txnMsg, 256),
-		perType: make([]uint64, e.m.Registry.Len()),
+		eng:   e,
+		id:    id,
+		ch:    make(chan txnMsg, 256),
+		rm:    rm,
+		wm:    rm.workers[id],
+		timed: rm.detail,
 	}
 }
 
@@ -91,8 +91,17 @@ func (w *worker) loop() {
 				ps = w.newPartition(txn.part.key)
 				txn.part.state = ps
 			}
-			w.txns++
-			ps.exec(w, msg.ts, txn.buf.evs)
+			w.wm.txns.Inc()
+			if w.timed {
+				w.execsInTxn = 0
+				start := time.Now()
+				ps.exec(w, msg.ts, txn.buf.evs)
+				d := time.Since(start)
+				w.wm.txnLatency.ObserveDuration(d)
+				w.rm.tracer.Record(d, txn.part.key, int64(msg.ts), w.execsInTxn, len(txn.buf.evs))
+			} else {
+				ps.exec(w, msg.ts, txn.buf.evs)
+			}
 			w.putEventBuf(txn.buf)
 		}
 		w.putTxnBuf(msg.buf)
@@ -115,12 +124,23 @@ type execGroup struct {
 	transBuf []algebra.Transition
 	derived  []*event.Event
 	poolBuf  []*event.Event
+	// openedAt[c] is the application time context c's window opened
+	// (-1 while closed); feeds the per-context lifetime histogram.
+	openedAt []event.Time
 }
 
 type instanceState struct {
 	inst      *plan.Instance
 	countOut  bool
 	wasActive bool
+
+	// qmIdx addresses the unit's queryMetrics; the delta fields carry
+	// the last pattern-operator readings so detail mode can publish
+	// per-operator increments without double counting.
+	qmIdx      int
+	lastStats  algebra.PatternStats
+	lastFoot   [3]int
+	lastChunks int
 }
 
 func (w *worker) newPartition(key string) *partitionState {
@@ -128,7 +148,10 @@ func (w *worker) newPartition(key string) *partitionState {
 	defIdx := w.eng.m.Default.Index
 	for _, gs := range w.eng.groups {
 		vec := algebra.NewVector(defIdx)
-		g := &execGroup{vec: vec}
+		g := &execGroup{vec: vec, openedAt: make([]event.Time, len(w.eng.m.Contexts))}
+		for i := range g.openedAt {
+			g.openedAt[i] = -1
+		}
 		for _, u := range gs.units {
 			var in *plan.Instance
 			var err error
@@ -146,6 +169,7 @@ func (w *worker) newPartition(key string) *partitionState {
 				inst:      in,
 				countOut:  u.countOut,
 				wasActive: in.Active(),
+				qmIdx:     u.qmIdx,
 			})
 		}
 		ps.groups = append(ps.groups, g)
@@ -171,14 +195,18 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 		// The context-aware stream router: suspended plans receive no
 		// input at all (§6.2). The check is one bit-mask test.
 		if !is.inst.Active() {
-			w.suspendedSkips++
+			w.wm.suspendedSkips.Inc()
 			continue
 		}
-		w.instanceExecs++
-		w.eventsFed += uint64(len(pool))
+		w.wm.instanceExecs.Inc()
+		w.execsInTxn++
+		w.wm.eventsFed.Add(uint64(len(pool)))
 		derived := g.derived[:0]
 		derived, trans = is.inst.Exec(now, pool, derived, trans)
 		g.derived = derived[:0]
+		if w.rm.detail {
+			is.publishDetail(w.rm)
+		}
 		if len(derived) == 0 {
 			continue
 		}
@@ -199,8 +227,25 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 	if len(trans) > 0 {
 		defIdx := w.eng.m.Default.Index
 		for _, tr := range trans {
+			was := g.vec.Has(tr.Context)
 			g.vec.Apply(tr, defIdx)
-			w.transitions++
+			w.wm.transitions.Inc()
+			// The router's per-context view: count only transitions
+			// that actually flipped the window bit (re-initiations
+			// and terminations of closed windows are no-ops, §3.3).
+			if active := g.vec.Has(tr.Context); active != was {
+				cm := &w.rm.ctx[tr.Context]
+				if active {
+					cm.activations.Inc()
+					g.openedAt[tr.Context] = tr.At
+				} else {
+					cm.suspensions.Inc()
+					if at := g.openedAt[tr.Context]; at >= 0 {
+						cm.lifetime.Observe(int64(tr.At - at))
+						g.openedAt[tr.Context] = -1
+					}
+				}
+			}
 		}
 		// Garbage collection of context history (§6.2): a plan whose
 		// window set just closed discards its partial matches.
@@ -208,7 +253,10 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 			active := is.inst.Active()
 			if is.wasActive && !active {
 				is.inst.Reset()
-				w.historyResets++
+				w.wm.historyResets.Inc()
+				if w.rm.detail {
+					is.publishFootprint(w.rm)
+				}
 			}
 			is.wasActive = active
 		}
@@ -217,6 +265,35 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 		g.poolBuf = pool[:0]
 	}
 	g.transBuf = trans[:0]
+}
+
+// publishDetail pushes the instance's pattern-operator deltas into
+// the run's per-query metrics. Detail mode only (a registry or
+// tracer is attached); the increments are allocation-free atomics.
+func (is *instanceState) publishDetail(rm *runMetrics) {
+	qm := &rm.query[is.qmIdx]
+	qm.execs.Inc()
+	st := is.inst.PatternStats()
+	qm.matches.Add(st.MatchesEmitted - is.lastStats.MatchesEmitted)
+	qm.filteredOut.Add(st.FilteredOut - is.lastStats.FilteredOut)
+	qm.negated.Add(st.MatchesNegated - is.lastStats.MatchesNegated)
+	is.lastStats = st
+	is.publishFootprint(rm)
+}
+
+// publishFootprint refreshes the retained-state gauges and the arena
+// slab counter; called after Exec and again after a history reset
+// (the reset empties the operator without an Exec).
+func (is *instanceState) publishFootprint(rm *runMetrics) {
+	qm := &rm.query[is.qmIdx]
+	p, nb, pd := is.inst.Footprint()
+	qm.partials.Add(int64(p - is.lastFoot[0]))
+	qm.negBuffered.Add(int64(nb - is.lastFoot[1]))
+	qm.pending.Add(int64(pd - is.lastFoot[2]))
+	is.lastFoot = [3]int{p, nb, pd}
+	ch := is.inst.ArenaChunks()
+	qm.arenaChunks.Add(uint64(ch - is.lastChunks))
+	is.lastChunks = ch
 }
 
 func (w *worker) emit(events []*event.Event) {
@@ -230,12 +307,12 @@ func (w *worker) emit(events []*event.Event) {
 		w.wallNow = wall
 	}
 	for _, e := range events {
-		w.outputs++
-		if idx := e.Schema.Index(); idx < len(w.perType) {
-			w.perType[idx]++
+		w.wm.outputs.Inc()
+		if idx := e.Schema.Index(); idx < len(w.rm.perType) {
+			w.rm.perType[idx].Inc()
 		}
 		if e.Arrival > 0 {
-			w.lat.Observe(time.Duration(wall - e.Arrival))
+			w.rm.outputLatency.Observe(wall - e.Arrival)
 		}
 		if w.eng.cfg.CollectOutputs {
 			w.collected = append(w.collected, e)

@@ -1,0 +1,19 @@
+package server
+
+import (
+	"net"
+	"net/http"
+
+	"github.com/caesar-cep/caesar/internal/telemetry"
+)
+
+// AdminHandler returns the HTTP handler of the server's admin
+// surface: Prometheus-text /metrics, JSON /statusz and /debug/pprof,
+// all backed by the shared telemetry registry.
+func (s *Server) AdminHandler() http.Handler { return telemetry.Handler(s.reg) }
+
+// ServeAdmin serves the admin surface on l until the listener closes.
+// Run it on its own goroutine next to Serve.
+func (s *Server) ServeAdmin(l net.Listener) error {
+	return http.Serve(l, s.AdminHandler())
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestAdminScrape runs a stream session and then scrapes the admin
+// surface, checking that the session's per-context and latency
+// metrics are visible over /metrics and /statusz.
+func TestAdminScrape(t *testing.T) {
+	srv, addr := startServer(t)
+	admin := httptest.NewServer(srv.AdminHandler())
+	defer admin.Close()
+
+	resp := session(t, addr, []string{
+		"Reading|1|7|50|1",
+		"Reading|2|7|95|2", // switch to overheated
+		"Reading|3|7|96|3", // alarm
+		"Reading|4|7|60|4", // alarm, then switch back
+	})
+	var stats string
+	for _, ln := range resp {
+		if strings.HasPrefix(ln, "#stats") {
+			stats = ln
+		}
+	}
+	// The extended trailer carries p99 latency and per-context window
+	// activity (overheated opened once and closed once).
+	if !strings.Contains(stats, "p99_latency=") || !strings.Contains(stats, "ctx:overheated=1/1") {
+		t.Errorf("stats trailer = %q", stats)
+	}
+
+	body := httpGet(t, admin.URL+"/metrics")
+	for _, want := range []string{
+		`caesar_context_activations_total{context="overheated"} 1`,
+		`caesar_context_suspensions_total{context="overheated"} 1`,
+		"caesar_events_total 4",
+		`caesar_txn_latency_ns{worker="0",quantile="0.99"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	statusz := httpGet(t, admin.URL+"/statusz")
+	if !strings.Contains(statusz, "caesar_events_total") {
+		t.Errorf("/statusz missing events counter: %s", statusz)
+	}
+
+	res, err := http.Get(admin.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content type = %q", ct)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	b, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

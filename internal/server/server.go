@@ -5,20 +5,43 @@
 // finishes with a "#stats ..." trailer when the client closes its
 // write side.
 //
+// The trailer is a single line of space-separated key=value fields:
+//
+//	#stats events=N outputs=N transitions=N partitions=N suspended=N
+//	       max_latency=D p99_latency=D ctx:NAME=A/S ...
+//
+// where max_latency/p99_latency are Go duration strings over the
+// arrival-to-derivation latency distribution, and each ctx:NAME=A/S
+// field reports one context type's window activations (A) and
+// suspensions (S) summed over all partitions, sorted by context name.
+// Clients should ignore fields they do not recognize; new fields are
+// only ever appended.
+//
 // Sessions are isolated: every connection gets a fresh engine run
 // (own partitions, context windows and history), so one misbehaving
 // stream cannot corrupt another. Events within a connection must be
 // in non-decreasing time order, as everywhere in the engine.
+//
+// The server also exposes its live telemetry over HTTP: AdminHandler
+// serves Prometheus /metrics, JSON /statusz and /debug/pprof from the
+// shared telemetry registry (see internal/telemetry). All sessions
+// publish into one registry; metric families registered per run
+// replace their predecessors, so live gauges reflect the most
+// recently started session while counters from the final report stay
+// scrapeable until then.
 package server
 
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 
 	"github.com/caesar-cep/caesar/internal/core"
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/model"
+	"github.com/caesar-cep/caesar/internal/runtime"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // Config configures a Server.
@@ -26,13 +49,16 @@ type Config struct {
 	// Model is the compiled CAESAR model shared by all sessions.
 	Model *model.Model
 	// Engine is the per-session engine configuration. CollectOutputs
-	// and OnOutput are managed by the server and must be unset.
+	// and OnOutput are managed by the server and must be unset. When
+	// Engine.Telemetry is nil the server creates its own registry; the
+	// effective registry is available via Registry/AdminHandler.
 	Engine core.Config
 }
 
 // Server serves stream sessions.
 type Server struct {
 	cfg Config
+	reg *telemetry.Registry
 
 	mu       sync.Mutex
 	sessions int
@@ -46,12 +72,18 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Engine.CollectOutputs || cfg.Engine.OnOutput != nil {
 		return nil, fmt.Errorf("server: CollectOutputs/OnOutput are managed per session")
 	}
+	if cfg.Engine.Telemetry == nil {
+		cfg.Engine.Telemetry = telemetry.NewRegistry()
+	}
 	// Compile once to surface configuration errors before Serve.
 	if _, err := core.NewEngine(cfg.Model, cfg.Engine); err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg}, nil
+	return &Server{cfg: cfg, reg: cfg.Engine.Telemetry}, nil
 }
+
+// Registry returns the telemetry registry all sessions publish into.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Sessions reports how many sessions have been served or are active.
 func (s *Server) Sessions() int {
@@ -101,7 +133,26 @@ func (s *Server) handle(conn net.Conn) {
 		fmt.Fprintf(conn, "#error %v\n", err)
 		return
 	}
-	fmt.Fprintf(conn, "#stats events=%d outputs=%d transitions=%d partitions=%d suspended=%d max_latency=%s\n",
+	fmt.Fprintf(conn, "#stats events=%d outputs=%d transitions=%d partitions=%d suspended=%d max_latency=%s p99_latency=%s%s\n",
 		st.Events, st.OutputCount, st.Transitions, st.Partitions,
-		st.SuspendedSkips, st.MaxLatency)
+		st.SuspendedSkips, st.MaxLatency, st.P99Latency, contextFields(st.Contexts))
+}
+
+// contextFields renders the per-context trailer fields (" ctx:NAME=A/S"
+// per context, sorted by name; empty when no windows moved).
+func contextFields(ctxs map[string]runtime.ContextStats) string {
+	if len(ctxs) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(ctxs))
+	for name := range ctxs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, name := range names {
+		cs := ctxs[name]
+		b = fmt.Appendf(b, " ctx:%s=%d/%d", name, cs.Activations, cs.Suspensions)
+	}
+	return string(b)
 }

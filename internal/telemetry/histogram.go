@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucketing: log-linear, HDR-style. Values 0..subCount-1
+// map to exact buckets; larger values map to one of subCount linear
+// sub-buckets within their power-of-two octave, so the relative
+// quantile error is bounded by 1/subCount (12.5%) regardless of
+// magnitude. Everything at or above 2^maxExp lands in one overflow
+// bucket. With nanosecond observations the overflow threshold is
+// 2^40ns ≈ 18 minutes — far beyond any transaction or event latency
+// this engine produces.
+const (
+	subBits  = 3
+	subCount = 1 << subBits // 8 sub-buckets per octave
+	maxExp   = 40
+
+	// numBuckets = exact small values + (maxExp-subBits) full octaves
+	// + 1 overflow bucket.
+	numBuckets = subCount + (maxExp-subBits)*subCount + 1
+)
+
+// bucketIndex maps a non-negative value to its bucket.
+func bucketIndex(v uint64) int {
+	if v < subCount {
+		return int(v)
+	}
+	e := bits.Len64(v) - 1 // e >= subBits
+	if e >= maxExp {
+		return numBuckets - 1
+	}
+	return (e-subBits+1)*subCount + int((v>>(uint(e)-subBits))&(subCount-1))
+}
+
+// bucketUpper returns the largest value falling into bucket i (the
+// quantile estimate reported for ranks landing in the bucket).
+func bucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	if i >= numBuckets-1 {
+		return math.MaxInt64
+	}
+	e := subBits + (i/subCount - 1)
+	sub := uint64(i%subCount) + 1
+	return int64((subCount+sub)<<(uint(e)-subBits)) - 1
+}
+
+// Histogram is a lock-free fixed-bucket log-scale histogram. The
+// zero value is ready to use; Observe performs only atomic adds (no
+// allocation, no locks), so it is safe on the engine's hot paths and
+// under concurrent writers. Sum accumulation saturates at
+// math.MaxInt64 instead of wrapping, so Mean never goes negative on
+// arbitrarily long runs.
+type Histogram struct {
+	buckets [numBuckets]atomic.Uint64
+	// count is incremented after the bucket, so for any concurrent
+	// reader sum(buckets) >= count — the invariant the scrape path
+	// and the race stress test rely on.
+	count atomic.Uint64
+	sum   atomic.Int64
+	max   atomic.Int64
+}
+
+// Observe records one sample. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketIndex(uint64(v))].Add(1)
+	h.count.Add(1)
+	if s := h.sum.Add(v); s < 0 {
+		// Overflow: saturate. Concurrent adds may race the store, but
+		// every loser re-overflows and re-saturates, so the value
+		// sticks at MaxInt64.
+		h.sum.Store(math.MaxInt64)
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration sample in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the saturating sample sum.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the exact maximal sample (0 with no samples).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the mean sample (0 with no samples). On saturated
+// histograms the mean is an upper-bound estimate.
+func (h *Histogram) Mean() int64 {
+	c := h.count.Load()
+	if c == 0 {
+		return 0
+	}
+	return h.sum.Load() / int64(c)
+}
+
+// Reset clears the histogram. Not atomic with respect to concurrent
+// Observe calls: samples recorded during a Reset may be partially
+// dropped. Single-writer use (tests, per-run trackers) is exact.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot captures a point-in-time copy for quantile extraction.
+// Taken against concurrent writers the copy is slightly fuzzy (the
+// buckets are read one by one) but never torn below the count read
+// first: sum(Buckets) >= Count.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is an immutable histogram copy.
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     int64
+	Max     int64
+	buckets [numBuckets]uint64
+}
+
+// Quantile returns the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the q*Count-th sample, capped by the exact
+// maximum; 0 with no samples. The log-linear bucketing bounds the
+// relative error at 12.5%.
+func (s *HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.buckets {
+		cum += c
+		if cum >= rank {
+			u := bucketUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			return u
+		}
+	}
+	return s.Max
+}
+
+// Merge folds another snapshot into s (bucket-wise sum, saturating
+// total, max of maxima) — used to combine per-worker histograms into
+// one run-level distribution.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	s.Count += o.Count
+	if sum := s.Sum + o.Sum; sum < s.Sum {
+		s.Sum = math.MaxInt64
+	} else {
+		s.Sum = sum
+	}
+	if o.Max > s.Max {
+		s.Max = o.Max
+	}
+	for i := range s.buckets {
+		s.buckets[i] += o.buckets[i]
+	}
+}
+
+// Mean returns the snapshot's mean sample (0 with no samples).
+func (s *HistogramSnapshot) Mean() int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / int64(s.Count)
+}

@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer is a lightweight stream-transaction tracer: the runtime
+// records one span per executed transaction, and spans slower than
+// the configured threshold are logged with their partition, tick
+// time, plans executed and event count. Fast spans cost two counter
+// increments; only the slow path formats and writes (under a mutex),
+// so tracing adds no allocation to healthy transactions.
+//
+// A nil *Tracer is a valid no-op, so callers record unconditionally.
+type Tracer struct {
+	threshold time.Duration
+
+	mu sync.Mutex
+	w  io.Writer
+
+	// Spans counts all recorded transactions, Slow the ones at or
+	// above the threshold. Exported for registry attachment.
+	Spans Counter
+	Slow  Counter
+}
+
+// NewTracer builds a tracer logging transactions that take at least
+// threshold to w. A non-positive threshold logs nothing (the span
+// counters still run).
+func NewTracer(threshold time.Duration, w io.Writer) *Tracer {
+	return &Tracer{threshold: threshold, w: w}
+}
+
+// Record registers one transaction span of duration d. partition is
+// the stream partition key, tick the application timestamp of the
+// transaction, plans the number of plan instances executed and
+// events the transaction's batch size.
+func (t *Tracer) Record(d time.Duration, partition string, tick int64, plans, events int) {
+	if t == nil {
+		return
+	}
+	t.Spans.Inc()
+	if t.threshold <= 0 || d < t.threshold {
+		return
+	}
+	t.Slow.Inc()
+	if t.w == nil {
+		return
+	}
+	t.mu.Lock()
+	fmt.Fprintf(t.w, "telemetry: slow txn partition=%s tick=%d plans=%d events=%d dur=%s\n",
+		partition, tick, plans, events, d)
+	t.mu.Unlock()
+}

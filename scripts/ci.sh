@@ -23,10 +23,34 @@ go build ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Focused race pass over the telemetry layer and its runtime callers:
+# the live-scrape contract (lock-free counters read while N workers
+# write) is exactly what the race detector exercises here, with the
+# stress tests' higher iteration counts.
+echo "== go test -race (telemetry focus)"
+go test -race -count=2 ./internal/telemetry/ ./internal/runtime/
+
 # Smoke-run the pattern kernel benchmarks so a change that breaks the
 # steady-state harness (or its alloc accounting) fails CI rather than
 # the next perf investigation.
 echo "== bench smoke (pattern kernel)"
 go test -run=NONE -bench=Pattern -benchtime=100x ./internal/algebra/
+
+# Zero-allocation guard: the PR1/PR2 hot paths must stay at 0
+# allocs/op even with instrumentation compiled in. Parse -benchmem
+# output and fail on any nonzero allocs/op figure.
+check_zero_allocs() {
+    out=$(go test -run=NONE -bench="$1" -benchmem -benchtime=200x "$2")
+    echo "$out"
+    bad=$(echo "$out" | awk '/allocs\/op/ && $(NF-1) != 0 { print }')
+    if [ -n "$bad" ]; then
+        echo "bench-guard: nonzero allocs/op on a zero-alloc hot path:" >&2
+        echo "$bad" >&2
+        exit 1
+    fi
+}
+echo "== bench guard (0 allocs/op hot paths)"
+check_zero_allocs 'BenchmarkPatternExtensionHeavy$' ./internal/algebra/
+check_zero_allocs 'BenchmarkDistributor$' ./internal/runtime/
 
 echo "== ci OK"
