@@ -121,7 +121,30 @@ type (
 	SliceSource = event.SliceSource
 	// Registry resolves event type names to schemas.
 	Registry = event.Registry
+	// Batch is one tick-aligned slice of an event stream.
+	Batch = event.Batch
+	// BatchSource yields tick-aligned event batches; sources
+	// implementing it feed the engine's pipelined ingest path
+	// (DESIGN.md §3.4).
+	BatchSource = event.BatchSource
+	// EventReader decodes the line format as a Source and BatchSource.
+	EventReader = event.Reader
+	// EventWriter encodes events in the line format.
+	EventWriter = event.Writer
 )
+
+// NewEventReader decodes the engine's line format (TypeName|time|v...)
+// from r against the registry. The reader serves both stream
+// protocols: per-event Next and arena-backed, allocation-free
+// NextBatch.
+func NewEventReader(r io.Reader, reg *Registry) *EventReader { return event.NewReader(r, reg) }
+
+// NewEventWriter encodes events in the engine's line format onto w,
+// the inverse of NewEventReader.
+func NewEventWriter(w io.Writer) *EventWriter { return event.NewWriter(w) }
+
+// NewBatcher adapts a per-event Source to the batch protocol.
+func NewBatcher(src Source) BatchSource { return event.NewBatcher(src) }
 
 // New compiles and configures an engine for a model.
 func New(m *Model, cfg Config) (*Engine, error) { return core.NewEngine(m, cfg) }
@@ -177,6 +200,18 @@ func LinearRoadDefaults() LinearRoadConfig { return linearroad.DefaultConfig() }
 // engine's registry.
 func GenerateLinearRoad(cfg LinearRoadConfig, reg *Registry) ([]*Event, error) {
 	return linearroad.Generate(cfg, reg)
+}
+
+// LinearRoadStream is the batch-oriented traffic generator: it emits
+// ticks directly into an event slab arena (no per-event allocation)
+// and reclaims slabs as the engine's watermark advances. Feed it to
+// Engine.RunBatches.
+type LinearRoadStream = linearroad.Stream
+
+// NewLinearRoadStream builds the batch generator; it produces the
+// same events as GenerateLinearRoad, in the same order.
+func NewLinearRoadStream(cfg LinearRoadConfig, reg *Registry) (*LinearRoadStream, error) {
+	return linearroad.NewStream(cfg, reg)
 }
 
 // LinearRoadPartitionBy is the partition key of the traffic model

@@ -37,6 +37,8 @@ func main() {
 	share := flag.Bool("share", false, "enable context workload sharing")
 	workers := flag.Int("workers", 4, "worker pool size")
 	pacing := flag.Duration("pacing", 0, "wall time per application time unit (0 = as fast as possible)")
+	readAhead := flag.Int("read-ahead", 0, "ingest read-ahead ring depth in batches (0 = default)")
+	noPipeline := flag.Bool("no-pipeline", false, "disable the pipelined ingest path (decode inline with dispatch)")
 	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
 	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
 	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
@@ -65,7 +67,7 @@ func main() {
 		keys = strings.Split(*partitionBy, ",")
 	}
 	if *listen != "" {
-		serve(m, *listen, *admin, keys, *baseline, *noPushdown, *share, *workers, *pacing)
+		serve(m, *listen, *admin, keys, *baseline, *noPushdown, *share, *workers, *pacing, *readAhead, *noPipeline)
 		return
 	}
 	out := event.NewWriter(os.Stdout)
@@ -76,6 +78,8 @@ func main() {
 		PartitionBy:        keys,
 		Workers:            *workers,
 		Pacing:             *pacing,
+		ReadAhead:          *readAhead,
+		DisablePipeline:    *noPipeline,
 	}
 	if *admin != "" {
 		reg := telemetry.NewRegistry()
@@ -116,7 +120,7 @@ func main() {
 
 // serve runs the TCP session server (see internal/server): each
 // connection streams events in and derived events out.
-func serve(m *model.Model, addr, admin string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration) {
+func serve(m *model.Model, addr, admin string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration, readAhead int, noPipeline bool) {
 	srv, err := server.New(server.Config{
 		Model: m,
 		Engine: core.Config{
@@ -126,6 +130,8 @@ func serve(m *model.Model, addr, admin string, keys []string, baseline, noPushdo
 			PartitionBy:        keys,
 			Workers:            workers,
 			Pacing:             pacing,
+			ReadAhead:          readAhead,
+			DisablePipeline:    noPipeline,
 		},
 	})
 	if err != nil {

@@ -1,0 +1,131 @@
+package caesar
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func tollGenConfig() LinearRoadConfig {
+	gen := LinearRoadDefaults()
+	gen.Segments = 4
+	// Long enough that the watermark (which trails by 2·horizon, the
+	// default horizon being 300) passes whole slabs mid-run.
+	gen.Duration = 3600
+	return gen
+}
+
+// runToll executes the Linear Road toll workload: it builds an engine
+// with cfg, generates the benchmark stream against that engine's
+// registry (schemas are matched by identity, so every run generates
+// its own), executes run, and returns the Writer-rendered derived
+// events (sorted, newline-joined — worker interleaving permutes
+// emission order) plus the Stats.
+func runToll(t *testing.T, cfg Config, run func(*Engine, []*Event) (*Stats, error)) (string, *Stats) {
+	t.Helper()
+	cfg.PartitionBy = LinearRoadPartitionBy()
+	cfg.CollectOutputs = true
+	eng, err := NewFromSource(LinearRoadModel(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs, err := GenerateLinearRoad(tollGenConfig(), eng.Registry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := run(eng, evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := NewEventWriter(&buf)
+	lines := make([]string, 0, len(st.Outputs))
+	for _, e := range st.Outputs {
+		buf.Reset()
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, buf.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, ""), st
+}
+
+// encodeWire renders events in the wire format.
+func encodeWire(t *testing.T, evs []*Event) []byte {
+	t.Helper()
+	var wire bytes.Buffer
+	w := NewEventWriter(&wire)
+	for _, e := range evs {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return wire.Bytes()
+}
+
+// TestIngestPathsByteIdentical is the PR's acceptance differential:
+// the preserved synchronous per-event loop, the pipelined batch path
+// over GC-managed events, the wire decoder's arena path and the
+// arena-backed generator must produce byte-identical derived events
+// and identical run statistics on the toll-notification workload.
+func TestIngestPathsByteIdentical(t *testing.T) {
+	outSync, stSync := runToll(t, Config{Workers: 3, DisablePipeline: true}, func(e *Engine, evs []*Event) (*Stats, error) {
+		return e.Run(NewSliceSource(evs))
+	})
+	outBatch, stBatch := runToll(t, Config{Workers: 3}, func(e *Engine, evs []*Event) (*Stats, error) {
+		return e.Run(NewSliceSource(evs))
+	})
+	outWire, stWire := runToll(t, Config{Workers: 3, ReadAhead: 2}, func(e *Engine, evs []*Event) (*Stats, error) {
+		return e.Run(NewEventReader(bytes.NewReader(encodeWire(t, evs)), e.Registry()))
+	})
+	outStream, stStream := runToll(t, Config{Workers: 3}, func(e *Engine, evs []*Event) (*Stats, error) {
+		s, err := NewLinearRoadStream(tollGenConfig(), e.Registry())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.RunBatches(s)
+	})
+
+	if outSync == "" {
+		t.Fatal("toll workload derived nothing")
+	}
+	for name, out := range map[string]string{"batch": outBatch, "wire": outWire, "stream": outStream} {
+		if out != outSync {
+			t.Errorf("%s ingest output diverges from the synchronous path (%d vs %d bytes)",
+				name, len(out), len(outSync))
+		}
+	}
+	for name, st := range map[string]*Stats{"batch": stBatch, "wire": stWire, "stream": stStream} {
+		if st.Events != stSync.Events || st.OutputCount != stSync.OutputCount ||
+			st.Transitions != stSync.Transitions || st.Partitions != stSync.Partitions {
+			t.Errorf("%s ingest stats diverge: %+v vs %+v", name, st, stSync)
+		}
+		if !reflect.DeepEqual(st.PerType, stSync.PerType) {
+			t.Errorf("%s per-type counts diverge: %v vs %v", name, st.PerType, stSync.PerType)
+		}
+		if !reflect.DeepEqual(st.Contexts, stSync.Contexts) {
+			t.Errorf("%s context stats diverge: %v vs %v", name, st.Contexts, stSync.Contexts)
+		}
+	}
+	// The arena paths must actually have pipelined: batches counted,
+	// and the wire reader's slabs reclaimed behind the watermark.
+	if stBatch.Batches == 0 || stWire.Batches == 0 || stStream.Batches == 0 {
+		t.Errorf("pipelined runs reported no batches: %d/%d/%d",
+			stBatch.Batches, stWire.Batches, stStream.Batches)
+	}
+	if stSync.Batches != 0 {
+		t.Errorf("synchronous run reported %d batches", stSync.Batches)
+	}
+	if stWire.ReclaimedChunks == 0 {
+		t.Error("wire ingest never reclaimed an arena slab")
+	}
+}

@@ -36,8 +36,9 @@ type kernelArena struct {
 	bindUsed  int
 	bindFree  [][]*event.Event
 
-	matchFree []*Match
-	pendFree  []*pendingMatch
+	matchFree  []*Match
+	pendFree   []*pendingMatch
+	bucketFree []*negBucket
 
 	// chunks counts slab allocations (partial and binding chunks) —
 	// the arena's growth, surfaced by the telemetry layer as the
@@ -143,4 +144,27 @@ func (a *kernelArena) getPending() *pendingMatch {
 func (a *kernelArena) putPending(pm *pendingMatch) {
 	pm.m = nil
 	a.pendFree = append(a.pendFree, pm)
+}
+
+// getBucket returns an empty negation-index bucket. A recycled bucket
+// keeps its event slice capacity, so a key that cycles between live
+// and empty stops allocating once the free list warms.
+func (a *kernelArena) getBucket() *negBucket {
+	if n := len(a.bucketFree); n > 0 {
+		b := a.bucketFree[n-1]
+		a.bucketFree = a.bucketFree[:n-1]
+		return b
+	}
+	return &negBucket{}
+}
+
+// putBucket retires a bucket, dropping its event references but
+// keeping the slice capacity for reuse.
+func (a *kernelArena) putBucket(b *negBucket) {
+	for i := range b.evs {
+		b.evs[i] = nil
+	}
+	b.evs = b.evs[:0]
+	b.head = 0
+	a.bucketFree = append(a.bucketFree, b)
 }

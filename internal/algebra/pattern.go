@@ -76,10 +76,14 @@ type Pattern struct {
 	// negIdx[j] indexes the live part of negBuf[j] by the negation's
 	// hash-join attribute (nil when the negation has no equi-join
 	// condition or indexing is disabled): completion-time checks then
-	// probe one bucket instead of scanning the buffer. Expiry trims
-	// each bucket's front in step with the ring head — the map is
-	// never rebuilt.
-	negIdx []map[event.Value][]*event.Event
+	// probe one bucket instead of scanning the buffer. Buckets are
+	// arena-recycled rings that mirror negBuf's head-offset discipline,
+	// so expiry pops fronts and appends reuse tail capacity — no map
+	// rebuild, no per-trim slice churn. Emptied buckets stay mapped
+	// (their key usually comes back); negIdxEmpty[j] counts them, and
+	// a sweep returns them to the arena only when they dominate.
+	negIdx      []map[event.Value]*negBucket
+	negIdxEmpty []int
 	// pending holds completed matches waiting out a trailing
 	// negation's deadline.
 	pending []*pendingMatch
@@ -103,6 +107,18 @@ type pendingMatch struct {
 	deadline event.Time
 	killed   bool
 }
+
+// negBucket is one hash bucket of a negation index: a ring over a
+// slice, like negBuf itself. evs[head:] is the live portion in stream
+// order; expiry advances head and compaction runs only when the dead
+// prefix dominates. Buckets recycle through the arena.
+type negBucket struct {
+	evs  []*event.Event
+	head int
+}
+
+// empty reports whether the bucket holds no live events.
+func (b *negBucket) empty() bool { return b.head == len(b.evs) }
 
 // NewPattern validates the spec and builds the operator.
 func NewPattern(spec PatternSpec) (*Pattern, error) {
@@ -135,10 +151,11 @@ func NewPattern(spec PatternSpec) (*Pattern, error) {
 	p.partials = make([][]*partial, len(spec.Steps))
 	p.negBuf = make([][]*event.Event, len(spec.Negs))
 	p.negHead = make([]int, len(spec.Negs))
-	p.negIdx = make([]map[event.Value][]*event.Event, len(spec.Negs))
+	p.negIdx = make([]map[event.Value]*negBucket, len(spec.Negs))
+	p.negIdxEmpty = make([]int, len(spec.Negs))
 	for j := range spec.Negs {
 		if spec.Negs[j].HashProbe != nil && !spec.DisableNegIndex {
-			p.negIdx[j] = map[event.Value][]*event.Event{}
+			p.negIdx[j] = map[event.Value]*negBucket{}
 		}
 	}
 	p.scratch = make([]*event.Event, spec.NumSlots)
@@ -168,8 +185,12 @@ func (p *Pattern) Reset() {
 		}
 		p.negBuf[j] = nb[:0]
 		p.negHead[j] = 0
-		if p.negIdx[j] != nil {
-			clear(p.negIdx[j])
+		if idx := p.negIdx[j]; idx != nil {
+			for _, b := range idx {
+				p.arena.putBucket(b)
+			}
+			clear(idx)
+			p.negIdxEmpty[j] = 0
 		}
 	}
 	for _, pm := range p.pending {
@@ -267,11 +288,21 @@ func (p *Pattern) expireNegBuf(j int, negCut event.Time) {
 	field := p.spec.Negs[j].HashField
 	for h < len(nb) && nb[h].End() < negCut {
 		if idx != nil {
-			k := nb[h].At(field)
-			if b := idx[k]; len(b) > 1 {
-				idx[k] = b[1:]
-			} else {
-				delete(idx, k)
+			b := idx[nb[h].At(field)]
+			b.evs[b.head] = nil
+			b.head++
+			switch {
+			case b.empty():
+				b.evs = b.evs[:0]
+				b.head = 0
+				p.negIdxEmpty[j]++
+			case b.head > 32 && 2*b.head >= len(b.evs):
+				n := copy(b.evs, b.evs[b.head:])
+				for i := n; i < len(b.evs); i++ {
+					b.evs[i] = nil
+				}
+				b.evs = b.evs[:n]
+				b.head = 0
 			}
 		}
 		nb[h] = nil
@@ -288,6 +319,17 @@ func (p *Pattern) expireNegBuf(j int, negCut event.Time) {
 	}
 	p.negBuf[j] = nb
 	p.negHead[j] = h
+	// Evict mapped-but-empty buckets only once they dominate the map —
+	// a hot key's bucket then stays put across live/empty cycles.
+	if idx != nil && p.negIdxEmpty[j] > 64 && 2*p.negIdxEmpty[j] >= len(idx) {
+		for k, b := range idx {
+			if b.empty() {
+				delete(idx, k)
+				p.arena.putBucket(b)
+			}
+		}
+		p.negIdxEmpty[j] = 0
+	}
 }
 
 // Process consumes one batch of events (all with the same occurrence
@@ -313,7 +355,17 @@ func (p *Pattern) processEvent(e *event.Event, out []*Match) []*Match {
 		p.negBuf[j] = append(p.negBuf[j], e)
 		if idx := p.negIdx[j]; idx != nil {
 			k := e.At(n.HashField)
-			idx[k] = append(idx[k], e)
+			b := idx[k]
+			switch {
+			case b == nil:
+				b = p.arena.getBucket()
+				idx[k] = b
+			case b.empty():
+				b.evs = b.evs[:0]
+				b.head = 0
+				p.negIdxEmpty[j]--
+			}
+			b.evs = append(b.evs, e)
 		}
 		if n.Anchor == len(p.spec.Steps) {
 			p.killPending(n, j, e)
@@ -459,7 +511,10 @@ func (p *Pattern) negationViolated(neg *model.Negation, j int, binding []*event.
 	if idx := p.negIdx[j]; idx != nil {
 		// Probe only the bucket matching the equi-join key; the
 		// residual conditions below re-verify it.
-		candidates = idx[neg.HashProbe.Eval(binding)]
+		candidates = nil
+		if b := idx[neg.HashProbe.Eval(binding)]; b != nil {
+			candidates = b.evs[b.head:]
+		}
 	}
 	for _, nv := range candidates {
 		if nv.Time.Start <= lo || nv.Time.End >= hi {

@@ -46,6 +46,12 @@ type Config struct {
 	// Pacing > 0 replays the stream in scaled real time: one
 	// application time unit takes Pacing of wall time.
 	Pacing time.Duration
+	// ReadAhead bounds the ingest read-ahead ring (decoded batches the
+	// decode goroutine may run ahead of dispatch); 0 means 4.
+	ReadAhead int
+	// DisablePipeline forces the legacy synchronous per-event ingest
+	// loop instead of the pipelined batch path.
+	DisablePipeline bool
 	// DefaultHorizon overrides the default pattern matching horizon
 	// (see plan.DefaultHorizon).
 	DefaultHorizon int64
@@ -93,17 +99,19 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	rt, err := runtime.New(runtime.Config{
-		Plan:           p,
-		Mode:           mode,
-		Sharing:        cfg.Sharing,
-		Fusion:         cfg.FusePatterns,
-		PartitionBy:    cfg.PartitionBy,
-		Workers:        cfg.Workers,
-		Pacing:         cfg.Pacing,
-		CollectOutputs: cfg.CollectOutputs,
-		OnOutput:       cfg.OnOutput,
-		Telemetry:      cfg.Telemetry,
-		Tracer:         cfg.Tracer,
+		Plan:            p,
+		Mode:            mode,
+		Sharing:         cfg.Sharing,
+		Fusion:          cfg.FusePatterns,
+		PartitionBy:     cfg.PartitionBy,
+		Workers:         cfg.Workers,
+		Pacing:          cfg.Pacing,
+		ReadAhead:       cfg.ReadAhead,
+		DisablePipeline: cfg.DisablePipeline,
+		CollectOutputs:  cfg.CollectOutputs,
+		OnOutput:        cfg.OnOutput,
+		Telemetry:       cfg.Telemetry,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -144,7 +152,15 @@ func (e *Engine) SharingStats() optimizer.SharingStats {
 }
 
 // Run executes the engine over a source until exhaustion. Engines
-// are reusable: each Run starts from fresh partition state.
+// are reusable: each Run starts from fresh partition state. Sources
+// that also implement event.BatchSource feed the pipelined ingest
+// path (see runtime.Engine.Run).
 func (e *Engine) Run(src event.Source) (*runtime.Stats, error) {
 	return e.rt.Run(src)
+}
+
+// RunBatches executes the engine over a batch-oriented source, e.g. a
+// linearroad.Stream that generates directly into an event arena.
+func (e *Engine) RunBatches(src event.BatchSource) (*runtime.Stats, error) {
+	return e.rt.RunBatches(src)
 }

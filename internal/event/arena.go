@@ -1,0 +1,167 @@
+package event
+
+// Arena is the ingest-side event recycler (DESIGN.md §3.4): pooled
+// Event records and flat Value backing arrays carved from fixed-size
+// slabs, in the style of the pattern kernel's arena (algebra/arena.go).
+// The decode path used to heap-allocate one *Event plus one []Value
+// per wire line; the arena replaces both with slab carving, and whole
+// slabs recycle once the engine's completion watermark passes them —
+// no per-event refcounts anywhere.
+//
+// Lifecycle: Alloc carves records from the current slab; a full slab
+// is sealed (appended to the live list, stamped with a monotonically
+// increasing epoch) and a recycled or fresh slab takes its place.
+// Slabs are filled in stream order, so a slab's max occurrence end
+// time is final once sealed; ReclaimBefore(t) recycles the sealed
+// prefix entirely below t. The caller guarantees t is below anything
+// still referenced — the runtime derives it from the workers'
+// transaction completion watermark minus the pattern horizon slack.
+//
+// The arena is single-goroutine, like the decode loop that owns it.
+type Arena struct {
+	chunkEvents int
+	valueSlots  int
+
+	cur  *slab
+	live []*slab // sealed slabs, oldest first
+	free []*slab
+
+	epoch     uint64
+	chunks    int
+	reclaimed int
+}
+
+// DefaultChunkEvents is the slab granularity: events per slab. Value
+// slots are provisioned at valueSlotsPerEvent per event; an event
+// needing more seals the slab early, so odd schemas cost slab
+// utilization, never correctness.
+const (
+	DefaultChunkEvents = 1024
+	valueSlotsPerEvent = 8
+)
+
+type slab struct {
+	events []Event
+	values []Value
+	nev    int
+	nval   int
+	maxEnd Time
+	epoch  uint64
+}
+
+const minTime = Time(-1 << 62)
+
+// NewArena builds an arena with the given slab size in events
+// (chunkEvents <= 0 selects DefaultChunkEvents).
+func NewArena(chunkEvents int) *Arena {
+	if chunkEvents <= 0 {
+		chunkEvents = DefaultChunkEvents
+	}
+	return &Arena{chunkEvents: chunkEvents, valueSlots: chunkEvents * valueSlotsPerEvent}
+}
+
+// Alloc carves an event with schema s, occurrence interval iv and a
+// capacity-capped Values slice of nvals slots. The slots are NOT
+// zeroed — recycled slabs carry stale values — so the caller must
+// assign every slot before the event escapes. The record stays valid
+// until a ReclaimBefore call passes its occurrence end time.
+func (a *Arena) Alloc(s *Schema, iv Interval, nvals int) *Event {
+	if nvals > a.valueSlots {
+		// Degenerate schema wider than a whole slab: fall back to a
+		// heap event (GC-managed, exempt from reclamation).
+		return &Event{Schema: s, Time: iv, Values: make([]Value, nvals)}
+	}
+	c := a.cur
+	if c == nil || c.nev == len(c.events) || c.nval+nvals > len(c.values) {
+		c = a.grow()
+	}
+	e := &c.events[c.nev]
+	c.nev++
+	e.Schema = s
+	e.Time = iv
+	e.Arrival = 0
+	e.Values = c.values[c.nval : c.nval+nvals : c.nval+nvals]
+	c.nval += nvals
+	if iv.End > c.maxEnd {
+		c.maxEnd = iv.End
+	}
+	return e
+}
+
+// grow seals the current slab and installs a recycled or fresh one.
+func (a *Arena) grow() *slab {
+	if a.cur != nil {
+		a.epoch++
+		a.cur.epoch = a.epoch
+		a.live = append(a.live, a.cur)
+	}
+	var c *slab
+	if n := len(a.free); n > 0 {
+		c = a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		c.nev, c.nval, c.maxEnd = 0, 0, minTime
+	} else {
+		c = &slab{
+			events: make([]Event, a.chunkEvents),
+			values: make([]Value, a.valueSlots),
+			maxEnd: minTime,
+		}
+		a.chunks++
+	}
+	a.cur = c
+	return c
+}
+
+// ReclaimBefore recycles every sealed slab whose events all end
+// before t and returns how many slabs it freed. Stale Event records
+// are not cleared — they are overwritten on the slab's next fill —
+// so callers must never dereference events past the watermark they
+// passed here. The slab being filled is never reclaimed.
+func (a *Arena) ReclaimBefore(t Time) int {
+	n := 0
+	for n < len(a.live) && a.live[n].maxEnd < t {
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	a.free = append(a.free, a.live[:n]...)
+	rest := copy(a.live, a.live[n:])
+	for i := rest; i < len(a.live); i++ {
+		a.live[i] = nil
+	}
+	a.live = a.live[:rest]
+	a.reclaimed += n
+	return n
+}
+
+// Reset recycles every sealed slab and rewinds the slab being filled.
+// The caller asserts nothing in the arena is referenced anymore.
+// Sources that restart application time from zero (bench passes, a
+// rewound generator) must use this instead of ReclaimBefore: the
+// in-fill slab keeps its old maxEnd stamp otherwise, and once sealed
+// it would head the live list with a stamp the restarted clock never
+// passes, blocking reclamation of everything behind it.
+func (a *Arena) Reset() {
+	a.ReclaimBefore(Time(1 << 62))
+	if a.cur != nil {
+		a.cur.nev, a.cur.nval, a.cur.maxEnd = 0, 0, minTime
+	}
+}
+
+// Chunks reports lifetime slab allocations — the arena's growth. A
+// warmed steady state allocates no new slabs, so the counter
+// flat-lines, exactly like the pattern arena's occupancy signal.
+func (a *Arena) Chunks() int { return a.chunks }
+
+// Reclaimed reports lifetime slab recycles.
+func (a *Arena) Reclaimed() int { return a.reclaimed }
+
+// LiveChunks reports sealed-but-unreclaimed slabs (excludes the slab
+// currently being filled).
+func (a *Arena) LiveChunks() int { return len(a.live) }
+
+// Epoch reports the seal counter: the epoch stamped on the most
+// recently sealed slab.
+func (a *Arena) Epoch() uint64 { return a.epoch }

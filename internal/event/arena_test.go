@@ -1,0 +1,153 @@
+package event
+
+import "testing"
+
+func TestArenaSealReclaimRecycle(t *testing.T) {
+	a := NewArena(4)
+	var evs []*Event
+	s := testSchema(t)
+	for i := 0; i < 12; i++ {
+		e := a.Alloc(s, Point(Time(i)), 3)
+		e.Values[0] = Int64(int64(i))
+		e.Values[1] = Int64(1)
+		e.Values[2] = Float64(1)
+		evs = append(evs, e)
+	}
+	// 12 events at 4 per slab: two sealed slabs plus the one being
+	// filled.
+	if got := a.Chunks(); got != 3 {
+		t.Fatalf("Chunks = %d, want 3", got)
+	}
+	if got := a.LiveChunks(); got != 2 {
+		t.Fatalf("LiveChunks = %d, want 2", got)
+	}
+	for i, e := range evs {
+		if e.End() != Time(i) || e.Values[0].Int != int64(i) {
+			t.Fatalf("event %d corrupted: %v", i, e)
+		}
+	}
+	// First sealed slab covers t=0..3; a watermark of 4 frees exactly it.
+	if got := a.ReclaimBefore(4); got != 1 {
+		t.Fatalf("ReclaimBefore(4) = %d, want 1", got)
+	}
+	if got := a.ReclaimBefore(4); got != 0 {
+		t.Fatalf("second ReclaimBefore(4) = %d, want 0", got)
+	}
+	if got := a.LiveChunks(); got != 1 {
+		t.Fatalf("LiveChunks after reclaim = %d, want 1", got)
+	}
+	// Further allocation reuses the freed slab: no new chunk.
+	for i := 12; i < 16; i++ {
+		a.Alloc(s, Point(Time(i)), 3)
+	}
+	if got := a.Chunks(); got != 3 {
+		t.Fatalf("Chunks after recycle = %d, want 3 (slab not reused)", got)
+	}
+	if got := a.Reclaimed(); got != 1 {
+		t.Fatalf("Reclaimed = %d, want 1", got)
+	}
+}
+
+func TestArenaValuesCapacityCapped(t *testing.T) {
+	a := NewArena(8)
+	s := testSchema(t)
+	e1 := a.Alloc(s, Point(1), 3)
+	e2 := a.Alloc(s, Point(2), 3)
+	if cap(e1.Values) != 3 {
+		t.Fatalf("cap(Values) = %d, want 3", cap(e1.Values))
+	}
+	e2.Values[0] = Int64(42)
+	grown := append(e1.Values, Int64(99)) // must reallocate, not clobber e2
+	_ = grown
+	if e2.Values[0].Int != 42 {
+		t.Fatal("append to one event's Values bled into its neighbor")
+	}
+}
+
+func TestArenaWideSchemaHeapFallback(t *testing.T) {
+	a := NewArena(2) // 16 value slots per slab
+	s := testSchema(t)
+	e := a.Alloc(s, Point(1), 17)
+	if len(e.Values) != 17 {
+		t.Fatalf("len(Values) = %d, want 17", len(e.Values))
+	}
+	if got := a.Chunks(); got != 0 {
+		t.Fatalf("heap fallback allocated %d slabs", got)
+	}
+}
+
+// tickStream builds nTicks ticks of perTick same-timestamp events.
+func tickStream(t *testing.T, nTicks, perTick int) []*Event {
+	t.Helper()
+	s := testSchema(t)
+	evs := make([]*Event, 0, nTicks*perTick)
+	for i := 0; i < nTicks; i++ {
+		for j := 0; j < perTick; j++ {
+			evs = append(evs, MustNew(s, Time(i), Int64(int64(i*perTick+j)), Int64(1), Float64(1)))
+		}
+	}
+	return evs
+}
+
+// checkBatches drains bs and verifies the batch protocol: epochs
+// increase, ticks are never split, and the concatenation equals want.
+func checkBatches(t *testing.T, bs BatchSource, want []*Event) {
+	t.Helper()
+	var b Batch
+	var got []*Event
+	lastEpoch := uint64(0)
+	for {
+		more := bs.NextBatch(&b)
+		if len(b.Events) > 0 {
+			if b.Epoch < lastEpoch {
+				t.Fatalf("batch epoch went backwards: %d after %d", b.Epoch, lastEpoch)
+			}
+			lastEpoch = b.Epoch
+			if len(got) > 0 && got[len(got)-1].End() == b.Events[0].End() {
+				t.Fatalf("tick t=%d split across batches", b.Events[0].End())
+			}
+			got = append(got, b.Events...)
+		}
+		if !more {
+			break
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] && !got[i].Equal(want[i]) {
+			t.Fatalf("event %d mismatch: %v != %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatcherTickAlignment(t *testing.T) {
+	evs := tickStream(t, 130, 10) // 1300 events forces several batches
+	checkBatches(t, NewBatcher(NewSliceSource(evs)), evs)
+}
+
+func TestSliceSourceBatchesZeroCopy(t *testing.T) {
+	evs := tickStream(t, 130, 10)
+	src := NewSliceSource(evs)
+	var b Batch
+	src.NextBatch(&b)
+	if len(b.Events) == 0 || b.Events[0] != evs[0] {
+		t.Fatal("SliceSource batch is not a subslice of the backing slice")
+	}
+	src.Reset()
+	checkBatches(t, src, evs)
+}
+
+func TestPerEventRoundTrip(t *testing.T) {
+	evs := tickStream(t, 130, 10)
+	got := Drain(PerEvent(NewBatcher(NewSliceSource(evs))))
+	if len(got) != len(evs) {
+		t.Fatalf("drained %d events, want %d", len(got), len(evs))
+	}
+	for i := range evs {
+		if got[i] != evs[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package event
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the wire-format parser through
+// both stream protocols. The invariants: no panic on any input, the
+// per-event heap path and the arena batch path decode the identical
+// event sequence, and they fail (or not) identically.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"PR|30|7|55.5|travel|true\nToll|31|7\n",
+		"Toll|10~40|9\n",
+		"# header\n\nToll|5|3\n   \nToll|6|4\n",
+		"Nope|1|2\n",
+		"Toll|x|2\n",
+		"Toll|9~3|2\n",
+		"Toll|1|2|3\n",
+		"Toll|1|abc\n",
+		"PR|1|1|zz|travel|true\n",
+		"PR|1|1|1.0|travel|yes\n",
+		"Toll\n",
+		"Toll|9223372036854775807|1\nToll|9223372036854775808|1\n",
+		"PR|-5|+7|-55.5|x|false\n",
+		"|||\n~\n|\n",
+		"Toll|1|2\x00\nToll|1|2",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reg, _, _ := codecRegistry()
+
+		heap := NewReader(bytes.NewReader(data), reg)
+		var perEvent []*Event
+		for e := heap.Next(); e != nil; e = heap.Next() {
+			perEvent = append(perEvent, e)
+		}
+
+		batch := NewReader(bytes.NewReader(data), reg)
+		batch.Tune(16, 8) // cross slab and batch boundaries early
+		var b Batch
+		var batched []*Event
+		for {
+			more := batch.NextBatch(&b)
+			batched = append(batched, b.Events...)
+			if !more {
+				break
+			}
+		}
+
+		if len(perEvent) != len(batched) {
+			t.Fatalf("per-event path decoded %d events, batch path %d", len(perEvent), len(batched))
+		}
+		for i := range perEvent {
+			if !perEvent[i].Equal(batched[i]) {
+				t.Fatalf("event %d diverges:\n heap: %v\narena: %v", i, perEvent[i], batched[i])
+			}
+		}
+		herr, berr := heap.Err(), batch.Err()
+		if (herr == nil) != (berr == nil) {
+			t.Fatalf("error divergence: per-event %v, batch %v", herr, berr)
+		}
+		if herr != nil && herr.Error() != berr.Error() {
+			t.Fatalf("error message divergence:\n heap: %v\narena: %v", herr, berr)
+		}
+	})
+}

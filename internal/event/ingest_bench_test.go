@@ -1,0 +1,114 @@
+package event
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// benchWire pre-encodes an all-int position-report stream: nTicks
+// ticks of perTick events. Integer schemas are the arena's steady
+// state — strings and floats deliberately copy to the heap.
+func benchWire(b *testing.B, nTicks, perTick int) (*Registry, []byte, int) {
+	b.Helper()
+	reg := NewRegistry()
+	pr := MustSchema("PositionReport",
+		Field{Name: "vid", Kind: KindInt},
+		Field{Name: "xway", Kind: KindInt},
+		Field{Name: "lane", Kind: KindInt},
+		Field{Name: "dir", Kind: KindInt},
+		Field{Name: "seg", Kind: KindInt},
+		Field{Name: "pos", Kind: KindInt},
+		Field{Name: "speed", Kind: KindInt},
+		Field{Name: "sec", Kind: KindInt})
+	reg.MustRegister(pr)
+	var buf bytes.Buffer
+	for i := 0; i < nTicks; i++ {
+		t := 30 * i
+		for j := 0; j < perTick; j++ {
+			fmt.Fprintf(&buf, "PositionReport|%d|%d|1|%d|0|%d|%d|%d|%d\n",
+				t, i*perTick+j, j%4, j%100, j*176, 40+j%30, t)
+		}
+	}
+	return reg, buf.Bytes(), nTicks * perTick
+}
+
+// BenchmarkIngestReader measures the wire decoder's batch path in
+// steady state: a warmed Reader re-decodes the same byte stream into
+// its slab arena, reclaiming behind a simulated watermark. The line
+// scanner, the arena and the batch structs all recycle, so the
+// per-event figure must show zero allocations (guarded by
+// scripts/ci.sh).
+func BenchmarkIngestReader(b *testing.B) {
+	reg, wire, n := benchWire(b, 400, 60)
+	br := bytes.NewReader(wire)
+	rd := NewReader(br, reg)
+	var batch Batch
+	pass := func() {
+		br.Reset(wire)
+		rd.Reset(br)
+		for {
+			more := rd.NextBatch(&batch)
+			if len(batch.Events) > 0 {
+				// Everything before this batch's tick is done with.
+				rd.ReclaimBefore(batch.Events[0].End())
+			}
+			if !more {
+				break
+			}
+		}
+		if rd.Err() != nil {
+			b.Fatal(rd.Err())
+		}
+	}
+	pass() // warm the scanner buffer, arena and batch capacity
+	pass()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pass()
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/event")
+}
+
+// BenchmarkIngestReaderPerEvent is the same stream through the legacy
+// heap path, anchoring the batch path's advantage.
+func BenchmarkIngestReaderPerEvent(b *testing.B) {
+	reg, wire, n := benchWire(b, 400, 60)
+	br := bytes.NewReader(wire)
+	rd := NewReader(br, reg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.Reset(wire)
+		rd.Reset(br)
+		for e := rd.Next(); e != nil; e = rd.Next() {
+			_ = e
+		}
+		if rd.Err() != nil {
+			b.Fatal(rd.Err())
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/event")
+}
+
+// BenchmarkIngestBatcher measures the Source→BatchSource adapter over
+// pre-built events (no decode): the pure batching overhead.
+func BenchmarkIngestBatcher(b *testing.B) {
+	s := MustSchema("E", Field{Name: "v", Kind: KindInt})
+	evs := make([]*Event, 0, 24000)
+	for i := 0; i < 24000; i++ {
+		evs = append(evs, MustNew(s, Time(i/60), Int64(int64(i))))
+	}
+	src := NewSliceSource(evs)
+	var batch Batch
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src.Reset()
+		bs := NewBatcher(src)
+		for bs.NextBatch(&batch) {
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(evs)), "ns/event")
+}

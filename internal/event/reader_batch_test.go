@@ -1,0 +1,198 @@
+package event
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// encodeStream renders events in the wire format.
+func encodeStream(t *testing.T, evs []*Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range evs {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// wireStream builds a mixed-type stream with repeated timestamps.
+func wireStream(t *testing.T, n int) (*Registry, []*Event) {
+	t.Helper()
+	reg, pr, toll := codecRegistry()
+	lanes := []string{"travel", "exit"}
+	var evs []*Event
+	for i := 0; i < n; i++ {
+		tm := Time(i / 3) // three events per tick
+		evs = append(evs,
+			MustNew(pr, tm, Int64(int64(i)), Float64(float64(i)+0.5), String(lanes[i%2]), Bool(i%2 == 0)),
+			MustNew(toll, tm, Int64(int64(i))))
+	}
+	return reg, evs
+}
+
+// TestReaderNextBatchMatchesNext is the codec-level differential: the
+// arena batch path must decode the identical event sequence as the
+// heap per-event path.
+func TestReaderNextBatchMatchesNext(t *testing.T) {
+	reg, evs := wireStream(t, 600)
+	wire := encodeStream(t, evs)
+
+	heap := NewReader(bytes.NewReader(wire), reg)
+	var perEvent []*Event
+	for e := heap.Next(); e != nil; e = heap.Next() {
+		perEvent = append(perEvent, e)
+	}
+	if heap.Err() != nil {
+		t.Fatal(heap.Err())
+	}
+
+	batch := NewReader(bytes.NewReader(wire), reg)
+	batch.Tune(64, 48) // small slabs, several batches
+	checkBatches(t, batch, perEvent)
+	if batch.Err() != nil {
+		t.Fatal(batch.Err())
+	}
+}
+
+// TestReaderReclaimAndReset drives the arena lifecycle: reclaiming
+// behind a watermark recycles slabs, and a Reset reader decodes a
+// second stream without growing the arena.
+func TestReaderReclaimAndReset(t *testing.T) {
+	reg, evs := wireStream(t, 900)
+	wire := encodeStream(t, evs)
+
+	r := NewReader(bytes.NewReader(wire), reg)
+	r.Tune(32, 24)
+	var b Batch
+	seen := 0
+	for {
+		more := r.NextBatch(&b)
+		for _, e := range b.Events {
+			if e.Schema == nil || len(e.Values) == 0 {
+				t.Fatalf("corrupt batch event %v", e)
+			}
+			seen++
+		}
+		if len(b.Events) > 0 {
+			// Everything before this batch's tick is now unreferenced.
+			r.ReclaimBefore(b.Events[0].End())
+		}
+		if !more {
+			break
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if seen != len(evs) {
+		t.Fatalf("decoded %d events, want %d", seen, len(evs))
+	}
+	chunks, reclaimed := r.ArenaChunks()
+	if reclaimed == 0 {
+		t.Fatal("watermark reclamation never recycled a slab")
+	}
+	if chunks >= reclaimed+10 {
+		t.Fatalf("arena grew %d chunks with only %d reclaimed — recycling is not keeping up", chunks, reclaimed)
+	}
+
+	// Second pass over the same stream: the warmed arena must not grow.
+	r.Reset(bytes.NewReader(wire))
+	for r.NextBatch(&b) {
+		r.ReclaimBefore(b.Events[0].End())
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	chunks2, _ := r.ArenaChunks()
+	if chunks2 != chunks {
+		t.Fatalf("second pass allocated new slabs: %d -> %d", chunks, chunks2)
+	}
+}
+
+// TestReaderLongLine is the regression test for scanner-cap errors: a
+// line over the 1 MiB cap must surface bufio.ErrTooLong wrapped with
+// the input line number and format context, not the bare sentinel.
+func TestReaderLongLine(t *testing.T) {
+	reg, _, _ := codecRegistry()
+	var buf bytes.Buffer
+	buf.WriteString("Toll|1|7\n")
+	buf.WriteString("Toll|2|")
+	buf.WriteString(strings.Repeat("9", maxLine+100))
+	buf.WriteString("\n")
+	buf.WriteString("Toll|3|8\n")
+
+	r := NewReader(bytes.NewReader(buf.Bytes()), reg)
+	if e := r.Next(); e == nil || e.At(0).Int != 7 {
+		t.Fatalf("first event = %v, want Toll vid=7", e)
+	}
+	if e := r.Next(); e != nil {
+		t.Fatalf("oversized line decoded into %v", e)
+	}
+	err := r.Err()
+	if err == nil {
+		t.Fatal("oversized line produced no error")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Errorf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	for _, want := range []string{"line 2", "TypeName|time|values"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// The batch path reports the same error.
+	br := NewReader(bytes.NewReader(buf.Bytes()), reg)
+	var b Batch
+	for br.NextBatch(&b) {
+	}
+	if berr := br.Err(); berr == nil || !errors.Is(berr, bufio.ErrTooLong) {
+		t.Errorf("batch path error = %v, want wrapped bufio.ErrTooLong", berr)
+	}
+}
+
+// TestReaderGrowsPastInitialBuffer checks lines between the initial
+// buffer size and the cap decode fine.
+func TestReaderGrowsPastInitialBuffer(t *testing.T) {
+	reg := NewRegistry()
+	reg.MustRegister(MustSchema("Note", Field{Name: "text", Kind: KindString}))
+	long := strings.Repeat("x", 3*initialLineBuf)
+	in := fmt.Sprintf("Note|1|%s\nNote|2|short\n", long)
+	r := NewReader(strings.NewReader(in), reg)
+	e := r.Next()
+	if e == nil || e.At(0).Str != long {
+		t.Fatal("long line did not round-trip")
+	}
+	if e = r.Next(); e == nil || e.At(0).Str != "short" {
+		t.Fatalf("line after long line = %v", e)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+// TestReaderErrorLineNumbers checks decode errors carry the 1-based
+// input line number, counting comment and blank lines.
+func TestReaderErrorLineNumbers(t *testing.T) {
+	reg, _, _ := codecRegistry()
+	in := "# header\n\nToll|5|3\nToll|6|bad\n"
+	r := NewReader(strings.NewReader(in), reg)
+	if e := r.Next(); e == nil {
+		t.Fatal("valid event not decoded")
+	}
+	if e := r.Next(); e != nil {
+		t.Fatalf("malformed line decoded into %v", e)
+	}
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Fatalf("error %v does not name line 4", r.Err())
+	}
+}

@@ -2,11 +2,12 @@ package event
 
 import (
 	"bufio"
+	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Source yields events in non-decreasing occurrence-time order
@@ -23,6 +24,7 @@ type SliceSource struct {
 	events []*Event
 	pos    int
 	last   Time
+	epoch  uint64
 }
 
 // NewSliceSource wraps events (not copied) as a Source.
@@ -44,8 +46,41 @@ func (s *SliceSource) Next() *Event {
 	return e
 }
 
+// NextBatch implements BatchSource with zero-copy, tick-aligned
+// subslices of the backing slice: no events are copied and no memory
+// is allocated, so a replayed slice is the cheapest possible batch
+// feed for benchmarks.
+func (s *SliceSource) NextBatch(b *Batch) bool {
+	b.Epoch = s.epoch
+	b.Events = nil
+	if s.pos >= len(s.events) {
+		return false
+	}
+	s.epoch++
+	start := s.pos
+	end := start
+	for end < len(s.events) {
+		e := s.events[end]
+		if e.End() < s.last {
+			panic(fmt.Sprintf("event: SliceSource out of order: %v after t=%d", e, s.last))
+		}
+		s.last = e.End()
+		end++
+		if end-start >= batcherTarget {
+			// Close the batch on the current tick boundary.
+			for end < len(s.events) && s.events[end].End() == s.last {
+				end++
+			}
+			break
+		}
+	}
+	s.pos = end
+	b.Events = s.events[start:end]
+	return end < len(s.events)
+}
+
 // Reset rewinds the source to the beginning.
-func (s *SliceSource) Reset() { s.pos = 0; s.last = -1 << 62 }
+func (s *SliceSource) Reset() { s.pos = 0; s.last = -1 << 62; s.epoch = 0 }
 
 // Len returns the total number of events in the source.
 func (s *SliceSource) Len() int { return len(s.events) }
@@ -101,119 +136,376 @@ func (w *Writer) Write(e *Event) error {
 // Flush flushes buffered output.
 func (w *Writer) Flush() error { return w.w.Flush() }
 
-// Reader decodes the Writer format against a schema registry,
-// yielding events as a Source. Decoding errors surface through Err
-// after Next returns nil.
+// Scanner buffer bounds, matching the bufio.Scanner limits the Reader
+// historically used: lines over maxLine bytes fail with
+// bufio.ErrTooLong (wrapped with the line number).
+const (
+	initialLineBuf = 64 * 1024
+	maxLine        = 1 << 20
+)
+
+// lineScanner is a reusable replacement for bufio.Scanner: it yields
+// '\n'-terminated lines as subslices of an internal growable buffer,
+// and — unlike bufio.Scanner — can be pointed at a new reader with
+// reset, so a steady-state Reader never reallocates its scan buffer.
+type lineScanner struct {
+	r          io.Reader
+	buf        []byte
+	start, end int
+	eof        bool
+}
+
+func (s *lineScanner) reset(r io.Reader) {
+	s.r = r
+	s.start, s.end = 0, 0
+	s.eof = false
+}
+
+// next returns the next line (without its '\n'), io.EOF at end of
+// stream, bufio.ErrTooLong past maxLine, or the reader's error.
+func (s *lineScanner) next() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(s.buf[s.start:s.end], '\n'); i >= 0 {
+			line := s.buf[s.start : s.start+i]
+			s.start += i + 1
+			return line, nil
+		}
+		if s.eof {
+			if s.start < s.end {
+				line := s.buf[s.start:s.end]
+				s.start = s.end
+				return line, nil
+			}
+			return nil, io.EOF
+		}
+		if s.start > 0 {
+			n := copy(s.buf, s.buf[s.start:s.end])
+			s.start, s.end = 0, n
+		}
+		if s.end == len(s.buf) {
+			if len(s.buf) >= maxLine {
+				return nil, bufio.ErrTooLong
+			}
+			size := len(s.buf) * 2
+			if size == 0 {
+				size = initialLineBuf
+			}
+			if size > maxLine {
+				size = maxLine
+			}
+			nb := make([]byte, size)
+			copy(nb, s.buf[:s.end])
+			s.buf = nb
+		}
+		n, err := s.r.Read(s.buf[s.end:])
+		s.end += n
+		if err == io.EOF {
+			s.eof = true
+		} else if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Reader decodes the Writer format against a schema registry. It
+// serves both stream protocols: Next yields heap-allocated events
+// (the legacy per-event Source), and NextBatch decodes directly into
+// an event slab arena with no per-event allocation (DESIGN.md §3.4).
+// Decoding errors surface through Err after the stream ends.
 type Reader struct {
-	sc  *bufio.Scanner
-	reg *Registry
-	err error
-	ln  int
+	sc   lineScanner
+	reg  *Registry
+	err  error
+	ln   int
+	done bool
+
+	arena       *Arena
+	peek        *Event
+	epoch       uint64
+	batchEvents int
+	chunkEvents int
 }
 
 // NewReader wraps r; schemas are resolved through reg.
 func NewReader(r io.Reader, reg *Registry) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	return &Reader{sc: sc, reg: reg}
+	rd := &Reader{reg: reg, batchEvents: batcherTarget}
+	rd.sc.reset(r)
+	return rd
+}
+
+// Reset points the reader at a new input stream, clearing line
+// numbers and errors but keeping the scan buffer and the arena — the
+// reuse that makes repeated decoding allocation-free. All sealed
+// arena slabs are recycled: resetting asserts the previous stream's
+// events are no longer referenced.
+func (r *Reader) Reset(rd io.Reader) {
+	r.sc.reset(rd)
+	r.err = nil
+	r.ln = 0
+	r.done = false
+	r.peek = nil
+	r.epoch = 0
+	if r.arena != nil {
+		r.arena.Reset()
+	}
+}
+
+// Tune sizes the batch path: chunkEvents is the arena slab
+// granularity (events per slab; effective only before the first
+// NextBatch), batchEvents the soft batch size. Zero keeps a
+// parameter's current setting.
+func (r *Reader) Tune(chunkEvents, batchEvents int) {
+	if chunkEvents > 0 {
+		r.chunkEvents = chunkEvents
+	}
+	if batchEvents > 0 {
+		r.batchEvents = batchEvents
+	}
 }
 
 // Next implements Source. On malformed input it records the error and
 // ends the stream.
 func (r *Reader) Next() *Event {
-	if r.err != nil {
+	if e := r.peek; e != nil {
+		r.peek = nil
+		return e
+	}
+	return r.read(nil)
+}
+
+// read scans to the next event line and decodes it, into a when a is
+// non-nil, onto the heap otherwise. It returns nil at end of stream
+// or on error (recorded in r.err).
+func (r *Reader) read(a *Arena) *Event {
+	if r.err != nil || r.done {
 		return nil
 	}
-	for r.sc.Scan() {
+	for {
+		line, err := r.sc.next()
+		if err == io.EOF {
+			r.done = true
+			return nil
+		}
+		if err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				r.err = fmt.Errorf("event: line %d: %w (line exceeds %d bytes; expected TypeName|time|values...)",
+					r.ln+1, err, maxLine)
+			} else {
+				r.err = fmt.Errorf("event: line %d: %w", r.ln+1, err)
+			}
+			return nil
+		}
 		r.ln++
-		line := strings.TrimSpace(r.sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		e, err := r.decode(line)
-		if err != nil {
-			r.err = fmt.Errorf("event: line %d: %w", r.ln, err)
+		e, derr := r.decode(line, a)
+		if derr != nil {
+			r.err = fmt.Errorf("event: line %d: %w", r.ln, derr)
 			return nil
 		}
 		return e
 	}
-	r.err = r.sc.Err()
-	return nil
+}
+
+// NextBatch implements BatchSource: it decodes whole ticks into the
+// reader's arena until the soft batch size is reached. On a
+// mid-stream error the partial batch is still delivered (false
+// return) and the error is available through Err.
+func (r *Reader) NextBatch(b *Batch) bool {
+	b.Epoch = r.epoch
+	b.Events = b.Events[:0]
+	if r.err != nil || (r.done && r.peek == nil) {
+		return false
+	}
+	if r.arena == nil {
+		r.arena = NewArena(r.chunkEvents)
+	}
+	r.epoch++
+	for {
+		e := r.peek
+		r.peek = nil
+		if e == nil {
+			if e = r.read(r.arena); e == nil {
+				return false
+			}
+		}
+		b.Events = append(b.Events, e)
+		if len(b.Events) >= r.batchEvents {
+			// Close the batch on the current tick boundary.
+			ts := e.End()
+			for {
+				n := r.read(r.arena)
+				if n == nil {
+					return false
+				}
+				if n.End() != ts {
+					r.peek = n
+					return true
+				}
+				b.Events = append(b.Events, n)
+			}
+		}
+	}
+}
+
+// ReclaimBefore implements Reclaimer: it recycles arena slabs fully
+// below t. Safe to call only when no event ending before t is still
+// referenced downstream.
+func (r *Reader) ReclaimBefore(t Time) int {
+	if r.arena == nil {
+		return 0
+	}
+	return r.arena.ReclaimBefore(t)
+}
+
+// ArenaChunks reports (allocated, reclaimed) arena slab counts; zero
+// before the first NextBatch.
+func (r *Reader) ArenaChunks() (chunks, reclaimed int) {
+	if r.arena == nil {
+		return 0, 0
+	}
+	return r.arena.Chunks(), r.arena.Reclaimed()
 }
 
 // Err returns the first decoding or I/O error encountered.
 func (r *Reader) Err() error { return r.err }
 
-func (r *Reader) decode(line string) (*Event, error) {
-	parts := strings.Split(line, "|")
-	if len(parts) < 2 {
+// decode parses one trimmed, non-empty line. With a non-nil arena the
+// event and its Values array are carved from slabs; string and float
+// attribute values still copy onto the heap, deliberately, because
+// derived events may retain them past slab reclamation.
+func (r *Reader) decode(line []byte, a *Arena) (*Event, error) {
+	i := bytes.IndexByte(line, '|')
+	if i < 0 {
 		return nil, fmt.Errorf("expected TypeName|time|values..., got %q", line)
 	}
-	schema, ok := r.reg.Lookup(parts[0])
+	schema, ok := r.reg.byName[string(line[:i])] // no-alloc map lookup
 	if !ok {
-		return nil, fmt.Errorf("unknown event type %q", parts[0])
+		return nil, fmt.Errorf("unknown event type %q", line[:i])
 	}
-	iv, err := parseInterval(parts[1])
+	rest := line[i+1:]
+	var tf, vals []byte
+	nvals := 0
+	if j := bytes.IndexByte(rest, '|'); j >= 0 {
+		tf, vals = rest[:j], rest[j+1:]
+		nvals = bytes.Count(vals, sep) + 1
+	} else {
+		tf = rest
+	}
+	iv, err := parseInterval(tf)
 	if err != nil {
 		return nil, err
 	}
-	vals := parts[2:]
-	if len(vals) != schema.NumFields() {
-		return nil, fmt.Errorf("%s expects %d values, got %d", schema.Name(), schema.NumFields(), len(vals))
+	if nvals != schema.NumFields() {
+		return nil, fmt.Errorf("%s expects %d values, got %d", schema.Name(), schema.NumFields(), nvals)
 	}
-	values := make([]Value, len(vals))
-	for i, raw := range vals {
+	var e *Event
+	if a != nil {
+		e = a.Alloc(schema, iv, nvals)
+	} else {
+		e = &Event{Schema: schema, Time: iv, Values: make([]Value, nvals)}
+	}
+	for i := 0; i < nvals; i++ {
+		raw := vals
+		if k := bytes.IndexByte(vals, '|'); k >= 0 {
+			raw, vals = vals[:k], vals[k+1:]
+		}
 		v, err := parseValue(schema.Field(i).Kind, raw)
 		if err != nil {
 			return nil, fmt.Errorf("%s.%s: %w", schema.Name(), schema.Field(i).Name, err)
 		}
-		values[i] = v
+		e.Values[i] = v
 	}
-	return &Event{Schema: schema, Time: iv, Values: values}, nil
+	return e, nil
 }
 
-func parseInterval(s string) (Interval, error) {
-	if i := strings.IndexByte(s, '~'); i >= 0 {
-		start, err1 := strconv.ParseInt(s[:i], 10, 64)
-		end, err2 := strconv.ParseInt(s[i+1:], 10, 64)
-		if err1 != nil || err2 != nil || start > end {
+var sep = []byte{'|'}
+
+func parseInterval(s []byte) (Interval, error) {
+	if i := bytes.IndexByte(s, '~'); i >= 0 {
+		start, ok1 := parseInt(s[:i])
+		end, ok2 := parseInt(s[i+1:])
+		if !ok1 || !ok2 || start > end {
 			return Interval{}, fmt.Errorf("bad time interval %q", s)
 		}
 		return Interval{Start: Time(start), End: Time(end)}, nil
 	}
-	t, err := strconv.ParseInt(s, 10, 64)
-	if err != nil {
+	t, ok := parseInt(s)
+	if !ok {
 		return Interval{}, fmt.Errorf("bad time %q", s)
 	}
 	return Point(Time(t)), nil
 }
 
-func parseValue(k Kind, raw string) (Value, error) {
+func parseValue(k Kind, raw []byte) (Value, error) {
 	switch k {
 	case KindInt:
-		n, err := strconv.ParseInt(raw, 10, 64)
-		if err != nil {
+		n, ok := parseInt(raw)
+		if !ok {
 			return Value{}, fmt.Errorf("bad int %q", raw)
 		}
 		return Int64(n), nil
 	case KindFloat:
-		f, err := strconv.ParseFloat(raw, 64)
+		f, err := strconv.ParseFloat(string(raw), 64)
 		if err != nil {
 			return Value{}, fmt.Errorf("bad float %q", raw)
 		}
 		return Float64(f), nil
 	case KindString:
-		return String(raw), nil
+		// Deliberate copy: the string must outlive arena reclamation.
+		return String(string(raw)), nil
 	case KindBool:
-		switch raw {
-		case "true":
+		if string(raw) == "true" {
 			return Bool(true), nil
-		case "false":
-			return Bool(false), nil
-		default:
-			return Value{}, fmt.Errorf("bad bool %q", raw)
 		}
+		if string(raw) == "false" {
+			return Bool(false), nil
+		}
+		return Value{}, fmt.Errorf("bad bool %q", raw)
 	default:
 		return Value{}, fmt.Errorf("invalid kind")
 	}
+}
+
+// parseInt is an allocation-free base-10 int64 parser with overflow
+// checking, accepting an optional leading sign (the subset of
+// strconv.ParseInt the wire format produces).
+func parseInt(b []byte) (int64, bool) {
+	if len(b) == 0 {
+		return 0, false
+	}
+	neg := false
+	switch b[0] {
+	case '+':
+		b = b[1:]
+	case '-':
+		neg = true
+		b = b[1:]
+	}
+	if len(b) == 0 {
+		return 0, false
+	}
+	var n uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if n > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		n = n*10 + d
+	}
+	if neg {
+		if n > 1<<63 {
+			return 0, false
+		}
+		return -int64(n), true // n == 1<<63 wraps to MinInt64, which is correct
+	}
+	if n > 1<<63-1 {
+		return 0, false
+	}
+	return int64(n), true
 }

@@ -1,0 +1,167 @@
+package linearroad
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Stream is the batch-oriented traffic generator: it emits one
+// report tick per NextBatch directly into an event slab arena, so
+// feeding the engine allocates nothing per event in steady state —
+// the arena recycles slabs as the engine's watermark advances.
+//
+// Stream reproduces Generate byte for byte: each segment draws from
+// its own deterministic rng (seeded exactly as Generate seeds it),
+// so per-segment random sequences are unaffected by the tick-major
+// emission order, and ticks are emitted in (road, seg, car) order —
+// the order Generate's stable sort preserves.
+type Stream struct {
+	cfg   Config
+	pr    *event.Schema
+	segs  []streamSeg
+	arena *event.Arena
+	t     int64
+	epoch uint64
+}
+
+// streamSeg is one unidirectional segment's generator state.
+type streamSeg struct {
+	road, seg int
+	phases    []Phase
+	seed      int64
+	rng       *rand.Rand
+	vidBase   int64
+	stopPos   int64
+}
+
+// NewStream validates cfg and builds a batch source over the
+// registry's PositionReport schema (same contract as Generate).
+func NewStream(cfg Config, reg *event.Registry) (*Stream, error) {
+	if cfg.Roads < 1 || cfg.Segments < 1 || cfg.Duration < 1 {
+		return nil, fmt.Errorf("linearroad: roads, segments and duration must be positive")
+	}
+	if cfg.ReportEvery < 1 || cfg.StatEvery < cfg.ReportEvery {
+		return nil, fmt.Errorf("linearroad: need 0 < ReportEvery <= StatEvery")
+	}
+	if cfg.Ramp <= 0 {
+		cfg.Ramp = 1
+	}
+	pr, ok := reg.Lookup("PositionReport")
+	if !ok {
+		return nil, fmt.Errorf("linearroad: registry lacks PositionReport (use the ModelSource registry)")
+	}
+	script := cfg.Script
+	if script == nil {
+		script = DefaultScript(cfg.Duration)
+	}
+	s := &Stream{cfg: cfg, pr: pr, arena: event.NewArena(0)}
+	for road := 0; road < cfg.Roads; road++ {
+		for seg := 0; seg < cfg.Segments; seg++ {
+			seed := cfg.Seed ^ int64(road*7919+seg)*2654435761 + 1
+			s.segs = append(s.segs, streamSeg{
+				road:    road,
+				seg:     seg,
+				phases:  script(road, seg),
+				seed:    seed,
+				rng:     rand.New(rand.NewSource(seed)),
+				vidBase: int64(road)*1_000_000 + int64(seg)*10_000,
+				stopPos: int64(seg*5280 + 100),
+			})
+		}
+	}
+	return s, nil
+}
+
+// NextBatch implements event.BatchSource: one report tick (every
+// segment's cars) per call, trivially tick-aligned.
+func (s *Stream) NextBatch(b *event.Batch) bool {
+	b.Epoch = s.epoch
+	b.Events = b.Events[:0]
+	if s.t >= s.cfg.Duration {
+		return false
+	}
+	s.epoch++
+	t := s.t
+	s.t += s.cfg.ReportEvery
+	for i := range s.segs {
+		s.segs[i].emit(&s.cfg, s.pr, s.arena, t, b)
+	}
+	return s.t < s.cfg.Duration
+}
+
+// emit appends one segment's reports for tick t, mirroring
+// genSegment's inner loop with arena-carved events.
+func (g *streamSeg) emit(cfg *Config, pr *event.Schema, a *event.Arena, t int64, b *event.Batch) {
+	kind := phaseAt(g.phases, t)
+	ramp := 1 + (cfg.Ramp-1)*float64(t)/float64(cfg.Duration)
+	var cars int
+	switch kind {
+	case Congestion:
+		cars = int(float64(cfg.CongestionCars) * ramp)
+	default:
+		cars = int(float64(cfg.ClearCars) * ramp)
+	}
+	if cars < 2 {
+		cars = 2
+	}
+	rng := g.rng
+	for k := 0; k < cars; k++ {
+		var speed int64
+		lane := int64(k % ExitLane)
+		if k%11 == 10 {
+			lane = ExitLane
+		}
+		switch kind {
+		case Clear:
+			speed = 45 + int64(rng.Intn(25))
+		case Congestion:
+			speed = 10 + int64(rng.Intn(25))
+		case Accident:
+			if k < 2 {
+				speed = 0
+			} else {
+				speed = 5 + int64(rng.Intn(20))
+			}
+		}
+		pos := g.stopPos + int64(k)*10
+		if kind == Accident && k < 2 {
+			pos = g.stopPos
+		}
+		e := a.Alloc(pr, event.Point(event.Time(t)), 8)
+		e.Values[0] = event.Int64(g.vidBase + int64(k))
+		e.Values[1] = event.Int64(int64(g.road))
+		e.Values[2] = event.Int64(lane)
+		e.Values[3] = event.Int64(0)
+		e.Values[4] = event.Int64(int64(g.seg))
+		e.Values[5] = event.Int64(pos)
+		e.Values[6] = event.Int64(speed)
+		e.Values[7] = event.Int64(t)
+		b.Events = append(b.Events, e)
+	}
+}
+
+// ReclaimBefore implements event.Reclaimer by recycling arena slabs
+// fully below t.
+func (s *Stream) ReclaimBefore(t event.Time) int { return s.arena.ReclaimBefore(t) }
+
+// ArenaChunks reports (allocated, reclaimed) arena slab counts.
+func (s *Stream) ArenaChunks() (chunks, reclaimed int) {
+	return s.arena.Chunks(), s.arena.Reclaimed()
+}
+
+// Reset rewinds the stream for another identical replay, re-seeding
+// every segment rng in place and keeping the arena warm — repeated
+// benchmark passes allocate nothing. All sealed slabs are recycled:
+// a Reset caller asserts the previous replay's events are no longer
+// referenced (application time restarts at 0, so the engine's
+// forward-moving watermark could never reclaim them).
+func (s *Stream) Reset() {
+	s.t = 0
+	s.epoch = 0
+	s.arena.Reset()
+	for i := range s.segs {
+		s.segs[i].rng.Seed(s.segs[i].seed)
+	}
+}

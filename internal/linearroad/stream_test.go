@@ -1,0 +1,109 @@
+package linearroad
+
+import (
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+func streamRegistry(t *testing.T) *event.Registry {
+	t.Helper()
+	m, err := model.CompileSource(ModelSource(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Registry
+}
+
+// drainStream collects every batch without reclaiming, so the arena
+// events stay valid for comparison.
+func drainStream(s *Stream) []*event.Event {
+	var out []*event.Event
+	var b event.Batch
+	for {
+		more := s.NextBatch(&b)
+		out = append(out, b.Events...)
+		if !more {
+			return out
+		}
+	}
+}
+
+// TestStreamMatchesGenerate: the batch generator must emit the exact
+// event sequence of the slice generator — same order, same values —
+// so engine results over either source are interchangeable.
+func TestStreamMatchesGenerate(t *testing.T) {
+	reg := streamRegistry(t)
+	cfg := DefaultConfig()
+	cfg.Segments = 4
+	cfg.Duration = 600
+
+	want, err := Generate(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewStream(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drainStream(s)
+	if len(got) != len(want) {
+		t.Fatalf("stream emitted %d events, generator %d", len(got), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got[i]) {
+			t.Fatalf("event %d diverges:\n gen: %v\nstream: %v", i, want[i], got[i])
+		}
+	}
+
+	// A Reset replay is identical and allocates no new slabs.
+	chunks, _ := s.ArenaChunks()
+	s.Reset()
+	got2 := drainStream(s)
+	if len(got2) != len(want) {
+		t.Fatalf("reset replay emitted %d events, want %d", len(got2), len(want))
+	}
+	for i := range want {
+		if !want[i].Equal(got2[i]) {
+			t.Fatalf("reset replay diverges at event %d", i)
+		}
+	}
+	if chunks2, _ := s.ArenaChunks(); chunks2 != chunks {
+		t.Fatalf("reset replay grew the arena: %d -> %d slabs", chunks, chunks2)
+	}
+}
+
+func TestStreamValidation(t *testing.T) {
+	reg := streamRegistry(t)
+	cfg := DefaultConfig()
+	cfg.ReportEvery = 0
+	if _, err := NewStream(cfg, reg); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestStreamTickAlignment: every batch is exactly one report tick, so
+// the batch protocol's no-split obligation holds trivially.
+func TestStreamTickAlignment(t *testing.T) {
+	reg := streamRegistry(t)
+	cfg := DefaultConfig()
+	cfg.Segments = 3
+	cfg.Duration = 300
+	s, err := NewStream(cfg, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b event.Batch
+	for {
+		more := s.NextBatch(&b)
+		for _, e := range b.Events[1:] {
+			if e.End() != b.Events[0].End() {
+				t.Fatalf("batch mixes ticks %d and %d", b.Events[0].End(), e.End())
+			}
+		}
+		if !more {
+			break
+		}
+	}
+}

@@ -205,6 +205,7 @@ func (d *distributor) dispatch(ts event.Time, evs []*event.Event, arrival int64)
 	for i, tb := range d.pending {
 		if tb != nil {
 			d.workers[i].ch <- txnMsg{ts: ts, buf: tb}
+			d.workers[i].sentTS = int64(ts)
 			d.pending[i] = nil
 		}
 	}

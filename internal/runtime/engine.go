@@ -27,7 +27,6 @@ package runtime
 import (
 	"fmt"
 	"sort"
-	"sync"
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
@@ -83,6 +82,14 @@ type Config struct {
 	// stream as fast as possible, so maximal latency measures CPU
 	// backlog (the paper's win-ratio configuration).
 	Pacing time.Duration
+	// ReadAhead bounds the ingest read-ahead ring: how many decoded
+	// batches the decode goroutine may run ahead of dispatch. 0 means
+	// 4 (DESIGN.md §3.4).
+	ReadAhead int
+	// DisablePipeline forces the legacy synchronous ingest loop:
+	// decode, pace and dispatch one event at a time on one goroutine.
+	// The pipelined path is differentially tested against it.
+	DisablePipeline bool
 	// CollectOutputs retains all derived events in Stats.Outputs.
 	CollectOutputs bool
 	// OnOutput, when set, is invoked for every derived output event.
@@ -120,9 +127,14 @@ type Stats struct {
 	EventsFed uint64
 	// HistoryResets counts context history discards (window closures).
 	HistoryResets uint64
-	Partitions    int
-	MaxLatency    time.Duration
-	MeanLatency   time.Duration
+	// Batches counts ingest batches dispatched (0 on the synchronous
+	// path); ReclaimedChunks counts event-arena slabs recycled by
+	// watermark reclamation.
+	Batches         uint64
+	ReclaimedChunks uint64
+	Partitions      int
+	MaxLatency      time.Duration
+	MeanLatency     time.Duration
 	// P50/P95/P99Latency are quantiles of the arrival-to-derivation
 	// latency distribution (log-scale histogram, ≤12.5% relative
 	// error; MaxLatency stays exact).
@@ -337,45 +349,32 @@ func (e *Engine) Groups() (groups, instances int) {
 // Run executes the engine over a source until exhaustion and returns
 // the run's statistics. Engines are single-run: partition state is
 // rebuilt on each call.
+//
+// Sources implementing event.BatchSource (SliceSource, event.Reader,
+// linearroad.Stream) feed the pipelined ingest path: decode runs on
+// its own goroutine behind a bounded read-ahead ring (DESIGN.md
+// §3.4); other sources are adapted through event.NewBatcher.
+// Config.DisablePipeline selects the legacy synchronous loop.
 func (e *Engine) Run(src event.Source) (*Stats, error) {
-	start := time.Now()
-	rm := newRunMetrics(e, e.cfg.Workers)
-	workers := make([]*worker, e.cfg.Workers)
-	var wg sync.WaitGroup
-	for i := range workers {
-		workers[i] = newWorker(e, i, rm)
-		wg.Add(1)
-		go func(w *worker) {
-			defer wg.Done()
-			w.loop()
-		}(workers[i])
+	if e.cfg.DisablePipeline {
+		return e.runSync(src)
 	}
-	rm.register(e.cfg.Telemetry, e, workers)
-	dist := newDistributor(workers, e.cfg.PartitionBy)
-	dist.rm = rm
-
-	var appStart event.Time
-	appStartSet := false
-
-	dispatchTick := func(ts event.Time, evs []*event.Event) {
-		rm.ticks.Inc()
-		if e.cfg.Pacing > 0 {
-			if !appStartSet {
-				appStart, appStartSet = ts, true
-			}
-			target := start.Add(time.Duration(ts-appStart) * e.cfg.Pacing)
-			if d := time.Until(target); d > 0 {
-				time.Sleep(d)
-			}
-		}
-		dist.dispatch(ts, evs, time.Now().UnixNano())
+	if bs, ok := src.(event.BatchSource); ok {
+		return e.RunBatches(bs)
 	}
+	return e.RunBatches(event.NewBatcher(src))
+}
 
+// runSync is the preserved synchronous ingest loop: decode, pace and
+// dispatch on one goroutine, one event at a time. It anchors the
+// differential tests for the pipelined path.
+func (e *Engine) runSync(src event.Source) (*Stats, error) {
+	r := e.newRun(nil)
 	var tick []*event.Event
 	var curTS event.Time
 	var orderErr error
 	for ev := src.Next(); ev != nil; ev = src.Next() {
-		rm.events.Inc()
+		r.rm.events.Inc()
 		ts := ev.End()
 		if ts < curTS {
 			// Events must arrive in-order by time stamp (§6.2);
@@ -385,29 +384,17 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 			break
 		}
 		if len(tick) > 0 && ts != curTS {
-			dispatchTick(curTS, tick)
+			r.dispatchTick(curTS, tick)
 			tick = tick[:0]
 		}
 		curTS = ts
 		tick = append(tick, ev)
 	}
 	if orderErr == nil && len(tick) > 0 {
-		dispatchTick(curTS, tick)
+		r.dispatchTick(curTS, tick)
 	}
-	for _, w := range workers {
-		close(w.ch)
-	}
-	wg.Wait()
-
-	if orderErr != nil {
-		return nil, orderErr
-	}
-	if errSrc, ok := src.(interface{ Err() error }); ok {
-		if err := errSrc.Err(); err != nil {
-			return nil, err
-		}
-	}
-	return e.collect(rm, workers, len(dist.table), time.Since(start)), nil
+	r.shutdown()
+	return r.finish(src, orderErr)
 }
 
 // collect derives the run's Stats from the run's metric objects —
@@ -415,12 +402,14 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 // serving paths report identical numbers.
 func (e *Engine) collect(rm *runMetrics, workers []*worker, partitions int, wall time.Duration) *Stats {
 	st := &Stats{
-		Events:     rm.events.Value(),
-		Ticks:      rm.ticks.Value(),
-		WallTime:   wall,
-		Partitions: partitions,
-		PerType:    map[string]uint64{},
-		Contexts:   map[string]ContextStats{},
+		Events:          rm.events.Value(),
+		Ticks:           rm.ticks.Value(),
+		Batches:         rm.batches.Value(),
+		ReclaimedChunks: rm.reclaims.Value(),
+		WallTime:        wall,
+		Partitions:      partitions,
+		PerType:         map[string]uint64{},
+		Contexts:        map[string]ContextStats{},
 	}
 	var txnLat telemetry.HistogramSnapshot
 	for _, w := range workers {

@@ -1,0 +1,303 @@
+// Ingest pipeline (DESIGN.md §3.4): batch decode on its own
+// goroutine, a bounded read-ahead ring to the dispatch loop, and
+// watermark-driven reclamation of the source's event slab arena.
+//
+// The watermark protocol has one writer and one reader. The dispatch
+// goroutine computes the safe reclamation bound after each batch —
+// it alone knows exactly what has been dispatched where — and
+// publishes it; the decode goroutine reads the published bound
+// before producing the next batch and tells the source's arena to
+// recycle every slab entirely below it. Workers participate with a
+// single atomic store per transaction message: the timestamp they
+// last completed. No per-event accounting exists anywhere.
+//
+// Safety: a worker processes its messages in timestamp order, so its
+// unprocessed events all carry timestamps above its completed mark;
+// events dispatched after the bound was computed carry timestamps
+// above the last dispatched tick, which also caps the bound; and
+// pattern state (partials, negation buffers, pending matches) only
+// references events within 2·horizon of a completed transaction,
+// which the slack term covers. Aggregation and projection copy
+// attribute values, never retain event pointers.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// defaultReadAhead is the ring capacity when Config.ReadAhead is 0:
+// enough for decode to absorb dispatch jitter, small enough that at
+// most a few thousand events are in flight between the stages.
+const defaultReadAhead = 4
+
+// batchRing is the bounded hand-off between the decode goroutine
+// (producer) and the dispatch loop (consumer): decoded batches flow
+// through data, consumed batch structs return through free, and done
+// aborts both directions on a dispatch error. The free side is what
+// bounds decode read-ahead — with all batch structs in flight, the
+// decoder blocks in acquire until dispatch releases one.
+type batchRing struct {
+	data chan *event.Batch
+	free chan *event.Batch
+	done chan struct{}
+}
+
+func newBatchRing(n int) *batchRing {
+	r := &batchRing{
+		data: make(chan *event.Batch, n),
+		free: make(chan *event.Batch, n),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < n; i++ {
+		r.free <- &event.Batch{}
+	}
+	return r
+}
+
+// acquire blocks for a recycled batch struct; false after abort.
+func (r *batchRing) acquire() (*event.Batch, bool) {
+	select {
+	case b := <-r.free:
+		return b, true
+	case <-r.done:
+		return nil, false
+	}
+}
+
+// send hands a filled batch to the dispatcher; false after abort.
+func (r *batchRing) send(b *event.Batch) bool {
+	select {
+	case r.data <- b:
+		return true
+	case <-r.done:
+		return false
+	}
+}
+
+// release returns a consumed batch to the decoder.
+func (r *batchRing) release(b *event.Batch) {
+	b.Events = b.Events[:0]
+	select {
+	case r.free <- b:
+	default:
+	}
+}
+
+// abort unblocks both sides after a dispatch error.
+func (r *batchRing) abort() { close(r.done) }
+
+// run is one execution's mutable state, shared by the synchronous
+// and pipelined ingest paths: the metric set, the worker pool, the
+// distributor, and the dispatch-side ordering and pacing state.
+type run struct {
+	e       *Engine
+	rm      *runMetrics
+	workers []*worker
+	wg      sync.WaitGroup
+	dist    *distributor
+	start   time.Time
+
+	appStart    event.Time
+	appStartSet bool
+	lastTS      event.Time
+	haveLast    bool
+
+	// watermark is the published reclamation bound: every event
+	// ending strictly before it is unreferenced. Written by the
+	// dispatch goroutine, read by the decode goroutine.
+	watermark atomic.Int64
+}
+
+func (e *Engine) newRun(ringDepth func() int64) *run {
+	r := &run{e: e, start: time.Now(), rm: newRunMetrics(e, e.cfg.Workers)}
+	r.rm.ringDepth = ringDepth
+	r.workers = make([]*worker, e.cfg.Workers)
+	for i := range r.workers {
+		r.workers[i] = newWorker(e, i, r.rm)
+		r.wg.Add(1)
+		go func(w *worker) {
+			defer r.wg.Done()
+			w.loop()
+		}(r.workers[i])
+	}
+	r.rm.register(e.cfg.Telemetry, e, r.workers)
+	r.dist = newDistributor(r.workers, e.cfg.PartitionBy)
+	r.dist.rm = r.rm
+	r.watermark.Store(math.MinInt64)
+	return r
+}
+
+// dispatchTick paces (when configured) and dispatches one tick.
+// Pacing lives here, on the dispatch side, so the decode goroutine
+// keeps parsing ahead during replay gaps.
+func (r *run) dispatchTick(ts event.Time, evs []*event.Event) {
+	r.rm.ticks.Inc()
+	if p := r.e.cfg.Pacing; p > 0 {
+		if !r.appStartSet {
+			r.appStart, r.appStartSet = ts, true
+		}
+		target := r.start.Add(time.Duration(ts-r.appStart) * p)
+		if d := time.Until(target); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	r.dist.dispatch(ts, evs, time.Now().UnixNano())
+}
+
+// shutdown closes the worker channels and waits for drain.
+func (r *run) shutdown() {
+	for _, w := range r.workers {
+		close(w.ch)
+	}
+	r.wg.Wait()
+}
+
+// finish surfaces the run error or the source's deferred error, then
+// collects Stats.
+func (r *run) finish(src any, runErr error) (*Stats, error) {
+	if runErr != nil {
+		return nil, runErr
+	}
+	if es, ok := src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start)), nil
+}
+
+// RunBatches executes the engine over a batch source with decode
+// overlapped behind the read-ahead ring. Most callers use Run, which
+// routes batch-capable sources here.
+func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
+	if e.cfg.DisablePipeline {
+		return e.runSync(event.PerEvent(src))
+	}
+	n := e.cfg.ReadAhead
+	if n <= 0 {
+		n = defaultReadAhead
+	}
+	ring := newBatchRing(n)
+	r := e.newRun(func() int64 { return int64(len(ring.data)) })
+	rec, _ := src.(event.Reclaimer)
+	slack := e.reclaimSlack()
+
+	var decodeWG sync.WaitGroup
+	decodeWG.Add(1)
+	go func() {
+		defer decodeWG.Done()
+		defer close(ring.data)
+		for {
+			b, ok := ring.acquire()
+			if !ok {
+				return
+			}
+			if rec != nil {
+				if wm := r.watermark.Load(); wm > math.MinInt64 {
+					if freed := rec.ReclaimBefore(event.Time(wm)); freed > 0 {
+						r.rm.reclaims.Add(uint64(freed))
+					}
+				}
+			}
+			more := src.NextBatch(b)
+			if len(b.Events) > 0 && !ring.send(b) {
+				return
+			}
+			if !more {
+				return
+			}
+		}
+	}()
+
+	var runErr error
+	for b := range ring.data {
+		r.rm.batches.Inc()
+		if runErr = r.dispatchBatch(b); runErr != nil {
+			ring.abort()
+			break
+		}
+		ring.release(b)
+		if rec != nil {
+			r.publishWatermark(slack)
+		}
+	}
+	for range ring.data { // drain after abort so the decoder unblocks
+	}
+	decodeWG.Wait()
+	r.shutdown()
+	return r.finish(src, runErr)
+}
+
+// dispatchBatch splits a batch into its ticks (runs of equal
+// occurrence end time) and dispatches each, enforcing the §6.2
+// ordering contract and the batch protocol's tick alignment.
+func (r *run) dispatchBatch(b *event.Batch) error {
+	evs := b.Events
+	for i := 0; i < len(evs); {
+		ts := evs[i].End()
+		if r.haveLast {
+			if ts < r.lastTS {
+				return fmt.Errorf("runtime: out-of-order event %v after t=%d", evs[i], r.lastTS)
+			}
+			if ts == r.lastTS && i == 0 {
+				// Two same-timestamp transactions per partition would
+				// apply context transitions mid-tick.
+				return fmt.Errorf("runtime: batch source split tick t=%d across batches", ts)
+			}
+		}
+		j := i + 1
+		for j < len(evs) && evs[j].End() == ts {
+			j++
+		}
+		r.rm.events.Add(uint64(j - i))
+		r.dispatchTick(ts, evs[i:j])
+		r.lastTS, r.haveLast = ts, true
+		i = j
+	}
+	return nil
+}
+
+// publishWatermark advances the reclamation bound. The minimum runs
+// over the last dispatched tick and the completed mark of every
+// worker that still holds undispatched-into-it work (sentTS is
+// dispatcher-owned, so "holds work" is exact here; a lagging
+// completed read only makes the bound conservative).
+func (r *run) publishWatermark(slack int64) {
+	if !r.haveLast {
+		return
+	}
+	min := int64(r.lastTS)
+	for _, w := range r.workers {
+		if done := w.completed.Load(); w.sentTS > done && done < min {
+			min = done
+		}
+	}
+	if min == math.MinInt64 {
+		return
+	}
+	if wm := min - slack; wm > r.watermark.Load() {
+		r.watermark.Store(wm)
+	}
+}
+
+// reclaimSlack is the retention horizon of downstream state in
+// application time: partial matches live up to one pattern horizon,
+// negation buffers and pending matches up to two (algebra/pattern.go
+// keeps its negation ring 2·Horizon deep), so a completed
+// transaction may still reference events up to 2·maxHorizon back.
+// One extra unit makes the reclamation bound strict.
+func (e *Engine) reclaimSlack() int64 {
+	var h int64
+	for _, qp := range e.cfg.Plan.Queries {
+		if qp.Horizon > h {
+			h = qp.Horizon
+		}
+	}
+	return 2*h + 1
+}

@@ -26,6 +26,13 @@ type runMetrics struct {
 	ticks      telemetry.Counter // dispatched ticks (Run goroutine)
 	partitions telemetry.Gauge   // interned partitions (Run goroutine)
 
+	// Ingest pipeline metrics (batch path only): batches dispatched
+	// (dispatch goroutine), arena slabs reclaimed (decode goroutine),
+	// and the read-ahead ring depth probe set by RunBatches.
+	batches   telemetry.Counter
+	reclaims  telemetry.Counter
+	ringDepth func() int64
+
 	// outputLatency tracks arrival→derivation latency per derived
 	// event in nanoseconds (the paper's latency metric, §7.1).
 	outputLatency telemetry.Histogram
@@ -111,6 +118,12 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 	reg.Register("caesar_ticks_total", "application time ticks dispatched", &rm.ticks)
 	reg.Register("caesar_partitions", "stream partitions interned", &rm.partitions)
 	reg.Register("caesar_output_latency_ns", "arrival-to-derivation latency of derived events", &rm.outputLatency)
+	reg.Register("caesar_ingest_batches_total", "ingest batches dispatched", &rm.batches)
+	reg.Register("caesar_ingest_reclaimed_chunks_total", "event arena slabs reclaimed", &rm.reclaims)
+	if rm.ringDepth != nil {
+		reg.Register("caesar_ingest_ring_depth", "decoded batches queued ahead of dispatch",
+			telemetry.GaugeFunc(rm.ringDepth))
+	}
 
 	schemas := e.m.Registry.Schemas()
 	for i := range rm.perType {

@@ -1,6 +1,8 @@
 package runtime
 
 import (
+	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/algebra"
@@ -38,18 +40,30 @@ type worker struct {
 	// transaction for the tracer's slow-transaction log line.
 	execsInTxn int
 
+	// completed publishes the timestamp of the last fully processed
+	// transaction message; the ingest watermark (ingest.go) reads it
+	// to bound slab reclamation. MinInt64 = nothing completed yet.
+	completed atomic.Int64
+	// sentTS is the timestamp last dispatched to this worker. It is
+	// owned by the dispatch goroutine (written in dispatch, read in
+	// publishWatermark); the worker never touches it.
+	sentTS int64
+
 	collected []*event.Event
 }
 
 func newWorker(e *Engine, id int, rm *runMetrics) *worker {
-	return &worker{
-		eng:   e,
-		id:    id,
-		ch:    make(chan txnMsg, 256),
-		rm:    rm,
-		wm:    rm.workers[id],
-		timed: rm.detail,
+	w := &worker{
+		eng:    e,
+		id:     id,
+		ch:     make(chan txnMsg, 256),
+		rm:     rm,
+		wm:     rm.workers[id],
+		timed:  rm.detail,
+		sentTS: math.MinInt64,
 	}
+	w.completed.Store(math.MinInt64)
+	return w
 }
 
 func (w *worker) getEventBuf() *eventBuf {
@@ -105,6 +119,7 @@ func (w *worker) loop() {
 			w.putEventBuf(txn.buf)
 		}
 		w.putTxnBuf(msg.buf)
+		w.completed.Store(int64(msg.ts))
 	}
 }
 

@@ -8,7 +8,7 @@
 // The trailer is a single line of space-separated key=value fields:
 //
 //	#stats events=N outputs=N transitions=N partitions=N suspended=N
-//	       max_latency=D p99_latency=D ctx:NAME=A/S ...
+//	       max_latency=D p99_latency=D ctx:NAME=A/S ... batches=N
 //
 // where max_latency/p99_latency are Go duration strings over the
 // arrival-to-derivation latency distribution, and each ctx:NAME=A/S
@@ -133,9 +133,10 @@ func (s *Server) handle(conn net.Conn) {
 		fmt.Fprintf(conn, "#error %v\n", err)
 		return
 	}
-	fmt.Fprintf(conn, "#stats events=%d outputs=%d transitions=%d partitions=%d suspended=%d max_latency=%s p99_latency=%s%s\n",
+	fmt.Fprintf(conn, "#stats events=%d outputs=%d transitions=%d partitions=%d suspended=%d max_latency=%s p99_latency=%s%s batches=%d\n",
 		st.Events, st.OutputCount, st.Transitions, st.Partitions,
-		st.SuspendedSkips, st.MaxLatency, st.P99Latency, contextFields(st.Contexts))
+		st.SuspendedSkips, st.MaxLatency, st.P99Latency, contextFields(st.Contexts),
+		st.Batches)
 }
 
 // contextFields renders the per-context trailer fields (" ctx:NAME=A/S"

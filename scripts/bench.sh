@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
-# Pattern-kernel benchmark harness: runs the BenchmarkPattern* family
-# plus the engine end-to-end benchmarks and renders the results as
-# BENCH_pattern.json at the repo root. Pure POSIX sh + awk; no
+# Benchmark harness: runs the BenchmarkPattern* family plus the engine
+# end-to-end benchmarks into BENCH_pattern.json, and the ingest
+# pipeline family (decoder, batcher, end-to-end wire/batch/sync) into
+# BENCH_ingest.json, both at the repo root. Pure POSIX sh + awk; no
 # dependencies beyond the go toolchain.
 #
 # Usage: scripts/bench.sh [count]   (default benchmark -count is 3;
@@ -10,9 +11,9 @@ set -eu
 cd "$(dirname "$0")/.."
 
 count=${1:-3}
-out=BENCH_pattern.json
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+tmp2=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2"' EXIT
 
 echo "== running pattern kernel benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkPattern' -benchmem -count="$count" \
@@ -21,9 +22,15 @@ echo "== running engine benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkEngine(ContextAware$|DispatchBound)' -benchmem -count="$count" \
     . | tee -a "$tmp" >&2
 
+echo "== running ingest benchmarks (count=$count)" >&2
+go test -run=NONE -bench='BenchmarkIngest' -benchmem -count="$count" \
+    ./internal/event/ | tee -a "$tmp2" >&2
+go test -run=NONE -bench='BenchmarkEngine(WireIngest|BatchStream|SyncIngest)' -benchmem -count="$count" \
+    . | tee -a "$tmp2" >&2
+
 # Parse `BenchmarkName  N  t ns/op [x ns/event]  b B/op  a allocs/op`
 # lines, take the median ns/op run per benchmark, and emit JSON.
-awk '
+render_json='
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
@@ -58,7 +65,12 @@ END {
             (k < nb ? "," : "")
     }
     printf "  ]\n}\n"
-}' "$tmp" > "$out"
+}'
 
-echo "== wrote $out" >&2
-cat "$out"
+awk "$render_json" "$tmp" > BENCH_pattern.json
+echo "== wrote BENCH_pattern.json" >&2
+cat BENCH_pattern.json
+
+awk "$render_json" "$tmp2" > BENCH_ingest.json
+echo "== wrote BENCH_ingest.json" >&2
+cat BENCH_ingest.json

@@ -36,7 +36,7 @@ go test -race -count=2 ./internal/telemetry/ ./internal/runtime/
 echo "== bench smoke (pattern kernel)"
 go test -run=NONE -bench=Pattern -benchtime=100x ./internal/algebra/
 
-# Zero-allocation guard: the PR1/PR2 hot paths must stay at 0
+# Zero-allocation guard: the PR1/PR2/PR4 hot paths must stay at 0
 # allocs/op even with instrumentation compiled in. Parse -benchmem
 # output and fail on any nonzero allocs/op figure.
 check_zero_allocs() {
@@ -51,6 +51,8 @@ check_zero_allocs() {
 }
 echo "== bench guard (0 allocs/op hot paths)"
 check_zero_allocs 'BenchmarkPatternExtensionHeavy$' ./internal/algebra/
+check_zero_allocs 'BenchmarkPatternNegationHeavy$' ./internal/algebra/
 check_zero_allocs 'BenchmarkDistributor$' ./internal/runtime/
+check_zero_allocs 'BenchmarkIngestReader$' ./internal/event/
 
 echo "== ci OK"
