@@ -40,6 +40,15 @@ type kernelArena struct {
 	pendFree   []*pendingMatch
 	bucketFree []*negBucket
 
+	// Automaton-kernel pools: run nodes carve from chunked slabs like
+	// partial records (pointer-stable, generation-stamped on reuse);
+	// predecessor lists and run buckets recycle whole backing slices.
+	nodeChunk    []runNode
+	nodeUsed     int
+	nodeFree     []*runNode
+	predListFree [][]predRef
+	runBktFree   []*runBucket
+
 	// chunks counts slab allocations (partial and binding chunks) —
 	// the arena's growth, surfaced by the telemetry layer as the
 	// per-operator occupancy signal: a steady state allocates no new
@@ -167,4 +176,83 @@ func (a *kernelArena) putBucket(b *negBucket) {
 	b.evs = b.evs[:0]
 	b.head = 0
 	a.bucketFree = append(a.bucketFree, b)
+}
+
+// getNode returns a cleared run node. Its generation stamp survives
+// recycling (putNode bumps it), which is what lets stale predecessor
+// references detect that their target was reclaimed.
+func (a *kernelArena) getNode() *runNode {
+	if n := len(a.nodeFree); n > 0 {
+		nd := a.nodeFree[n-1]
+		a.nodeFree = a.nodeFree[:n-1]
+		return nd
+	}
+	if a.nodeUsed == len(a.nodeChunk) {
+		a.nodeChunk = make([]runNode, chunkSize)
+		a.nodeUsed = 0
+		a.chunks++
+	}
+	nd := &a.nodeChunk[a.nodeUsed]
+	a.nodeUsed++
+	return nd
+}
+
+// putNode retires a run node. The caller already returned its
+// predecessor list (freeNode); everything else is cleared here and
+// the generation advances so dangling refs go inert.
+func (a *kernelArena) putNode(nd *runNode) {
+	nd.ev = nil
+	nd.pb = nil
+	nd.pbGen = 0
+	nd.predLo = 0
+	nd.predHi = 0
+	nd.maxFS = 0
+	nd.gen++
+	a.nodeFree = append(a.nodeFree, nd)
+}
+
+// getPredList returns an empty predecessor list, reusing a retired
+// backing array when one is available.
+func (a *kernelArena) getPredList() []predRef {
+	if n := len(a.predListFree); n > 0 {
+		l := a.predListFree[n-1]
+		a.predListFree = a.predListFree[:n-1]
+		return l
+	}
+	return nil
+}
+
+// putPredList retires a predecessor list, dropping its node
+// references but keeping the capacity.
+func (a *kernelArena) putPredList(l []predRef) {
+	for i := range l {
+		l[i] = predRef{}
+	}
+	a.predListFree = append(a.predListFree, l[:0])
+}
+
+// getRunBucket returns an empty run bucket. Like run nodes, buckets
+// keep their generation stamp across recycling so ranges into an
+// evicted bucket resolve to nothing.
+func (a *kernelArena) getRunBucket() *runBucket {
+	if n := len(a.runBktFree); n > 0 {
+		b := a.runBktFree[n-1]
+		a.runBktFree = a.runBktFree[:n-1]
+		return b
+	}
+	return &runBucket{chainMax: minTime}
+}
+
+// putRunBucket retires an empty run bucket (its runs were already
+// reclaimed) and bumps its generation.
+func (a *kernelArena) putRunBucket(b *runBucket) {
+	for i := range b.nodes {
+		b.nodes[i] = nil
+	}
+	b.nodes = b.nodes[:0]
+	b.head = 0
+	b.base = 0
+	b.chainMax = minTime
+	b.gen++
+	a.runBktFree = append(a.runBktFree, b)
 }

@@ -1,0 +1,226 @@
+package algebra
+
+import (
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/model"
+)
+
+// negTracker owns the negation side of a pattern operator: the
+// per-negation event buffers, their hash indexes and the
+// completion-time violation checks. Both kernels (the automaton and
+// the preserved legacy kernel) share it, so negation semantics are
+// identical by construction.
+//
+// buf[j] buffers events of negation j's type, bounded by 2*Horizon so
+// that completion-time checks see every event that can fall within a
+// live match's span. The buffer is a ring over a slice: head[j] marks
+// the first live entry, expiry advances it, and the slice compacts
+// only when the dead prefix dominates — no per-Advance reshuffling.
+//
+// idx[j] indexes the live part of buf[j] by the negation's hash-join
+// attribute (nil when the negation has no equi-join condition or
+// indexing is disabled): completion-time checks then probe one bucket
+// instead of scanning the buffer. Buckets are arena-recycled rings
+// that mirror buf's head-offset discipline. Emptied buckets stay
+// mapped (their key usually comes back); idxEmpty[j] counts them, and
+// a sweep returns them to the arena only when they dominate.
+type negTracker struct {
+	negs  []model.Negation
+	steps []model.Step
+	arena *kernelArena
+
+	buf      [][]*event.Event
+	head     []int
+	idx      []map[event.Value]*negBucket
+	idxEmpty []int
+
+	scratch []*event.Event // negation condition evaluation buffer
+}
+
+// negBucket is one hash bucket of a negation index: a ring over a
+// slice, like the buffer itself. evs[head:] is the live portion in
+// stream order; expiry advances head and compaction runs only when
+// the dead prefix dominates. Buckets recycle through the arena.
+type negBucket struct {
+	evs  []*event.Event
+	head int
+}
+
+// empty reports whether the bucket holds no live events.
+func (b *negBucket) empty() bool { return b.head == len(b.evs) }
+
+func newNegTracker(spec *PatternSpec, arena *kernelArena) *negTracker {
+	nt := &negTracker{
+		negs:     spec.Negs,
+		steps:    spec.Steps,
+		arena:    arena,
+		buf:      make([][]*event.Event, len(spec.Negs)),
+		head:     make([]int, len(spec.Negs)),
+		idx:      make([]map[event.Value]*negBucket, len(spec.Negs)),
+		idxEmpty: make([]int, len(spec.Negs)),
+		scratch:  make([]*event.Event, spec.NumSlots),
+	}
+	for j := range spec.Negs {
+		if spec.Negs[j].HashProbe != nil && !spec.DisableNegIndex {
+			nt.idx[j] = map[event.Value]*negBucket{}
+		}
+	}
+	return nt
+}
+
+// observe buffers an event of negation j's type (the caller matched
+// the schema) and registers it in the hash index.
+func (nt *negTracker) observe(j int, e *event.Event) {
+	n := &nt.negs[j]
+	nt.buf[j] = append(nt.buf[j], e)
+	if idx := nt.idx[j]; idx != nil {
+		k := e.At(n.HashField)
+		b := idx[k]
+		switch {
+		case b == nil:
+			b = nt.arena.getBucket()
+			idx[k] = b
+		case b.empty():
+			b.evs = b.evs[:0]
+			b.head = 0
+			nt.idxEmpty[j]--
+		}
+		b.evs = append(b.evs, e)
+	}
+}
+
+// expire advances every ring head past events older than negCut,
+// trimming the index buckets in step. Events enter the buffer (and
+// their bucket) in stream order and End() is non-decreasing, so the
+// expired set is a prefix of both the buffer and each bucket — each
+// expired event pops its bucket's front. Compaction runs only when
+// the dead prefix dominates the buffer, keeping amortized cost
+// O(expired) instead of an O(live) map rebuild.
+func (nt *negTracker) expire(negCut event.Time) {
+	for j := range nt.buf {
+		nt.expireBuf(j, negCut)
+	}
+}
+
+func (nt *negTracker) expireBuf(j int, negCut event.Time) {
+	nb := nt.buf[j]
+	h := nt.head[j]
+	idx := nt.idx[j]
+	field := nt.negs[j].HashField
+	for h < len(nb) && nb[h].End() < negCut {
+		if idx != nil {
+			b := idx[nb[h].At(field)]
+			b.evs[b.head] = nil
+			b.head++
+			switch {
+			case b.empty():
+				b.evs = b.evs[:0]
+				b.head = 0
+				nt.idxEmpty[j]++
+			case b.head > 32 && 2*b.head >= len(b.evs):
+				n := copy(b.evs, b.evs[b.head:])
+				for i := n; i < len(b.evs); i++ {
+					b.evs[i] = nil
+				}
+				b.evs = b.evs[:n]
+				b.head = 0
+			}
+		}
+		nb[h] = nil
+		h++
+	}
+	switch {
+	case h == len(nb):
+		nb = nb[:0]
+		h = 0
+	case h > 64 && 2*h >= len(nb):
+		n := copy(nb, nb[h:])
+		nb = nb[:n]
+		h = 0
+	}
+	nt.buf[j] = nb
+	nt.head[j] = h
+	// Evict mapped-but-empty buckets only once they dominate the map —
+	// a hot key's bucket then stays put across live/empty cycles.
+	if idx != nil && nt.idxEmpty[j] > 64 && 2*nt.idxEmpty[j] >= len(idx) {
+		for k, b := range idx {
+			if b.empty() {
+				delete(idx, k)
+				nt.arena.putBucket(b)
+			}
+		}
+		nt.idxEmpty[j] = 0
+	}
+}
+
+// reset discards all buffered events and returns index buckets to
+// the arena.
+func (nt *negTracker) reset() {
+	for j := range nt.buf {
+		nb := nt.buf[j]
+		for k := nt.head[j]; k < len(nb); k++ {
+			nb[k] = nil
+		}
+		nt.buf[j] = nb[:0]
+		nt.head[j] = 0
+		if idx := nt.idx[j]; idx != nil {
+			for _, b := range idx {
+				nt.arena.putBucket(b)
+			}
+			clear(idx)
+			nt.idxEmpty[j] = 0
+		}
+	}
+}
+
+// buffered counts the live buffered events across all negations.
+func (nt *negTracker) buffered() int {
+	total := 0
+	for j, nb := range nt.buf {
+		total += len(nb) - nt.head[j]
+	}
+	return total
+}
+
+// violated reports whether some buffered event of negation j falls
+// strictly between the anchoring positive events of binding and
+// satisfies all the negation's conditions (paper §4.1, sequence with
+// negation). Only non-trailing anchors call it; trailing negations
+// are handled through the pending-match deadline discipline.
+func (nt *negTracker) violated(j int, binding []*event.Event) bool {
+	neg := &nt.negs[j]
+	var lo event.Time = -1 << 62
+	if neg.Anchor > 0 {
+		lo = binding[nt.steps[neg.Anchor-1].Slot].Time.End
+	}
+	hi := binding[nt.steps[neg.Anchor].Slot].Time.Start
+	candidates := nt.buf[j][nt.head[j]:]
+	if idx := nt.idx[j]; idx != nil {
+		// Probe only the bucket matching the equi-join key; the
+		// residual conditions below re-verify it.
+		candidates = nil
+		if b := idx[neg.HashProbe.Eval(binding)]; b != nil {
+			candidates = b.evs[b.head:]
+		}
+	}
+	for _, nv := range candidates {
+		if nv.Time.Start <= lo || nv.Time.End >= hi {
+			continue
+		}
+		if nt.condsHold(neg, binding, nv) {
+			return true
+		}
+	}
+	return false
+}
+
+func (nt *negTracker) condsHold(neg *model.Negation, binding []*event.Event, nv *event.Event) bool {
+	copy(nt.scratch, binding)
+	nt.scratch[neg.Slot] = nv
+	for _, c := range neg.Conds {
+		if !c.EvalBool(nt.scratch) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,8 +1,6 @@
 package algebra
 
 import (
-	"fmt"
-
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/model"
 	"github.com/caesar-cep/caesar/internal/predicate"
@@ -26,6 +24,11 @@ type PatternSpec struct {
 	// DisableNegIndex turns off the negation-buffer hash index (used
 	// by the ablation benchmarks to quantify its benefit).
 	DisableNegIndex bool
+	// LegacyKernel selects the preserved per-combination partial
+	// kernel instead of the shared-run automaton. The differential
+	// tests and ablation benchmarks use it; production plans leave it
+	// off.
+	LegacyKernel bool
 	// Horizon bounds the time span of a match: a partial match whose
 	// first event is older than Horizon expires, and a trailing
 	// negation holds back emission for Horizon time units. Must be
@@ -35,6 +38,14 @@ type PatternSpec struct {
 
 // PatternStats counts the work a pattern instance has performed; the
 // benchmark harness and tests read these.
+//
+// EventsSeen, MatchesEmitted and MatchesNegated are kernel-independent
+// (the differential tests assert exact parity across kernels). The
+// remaining counters describe kernel-internal work and differ by
+// construction: the legacy kernel counts materialized partial
+// combinations, while the automaton kernel counts shared run nodes
+// (PartialsCreated/PartialsExpired) and enumeration-time predicate
+// rejections (FilteredOut).
 type PatternStats struct {
 	EventsSeen      uint64
 	PartialsCreated uint64
@@ -44,63 +55,66 @@ type PatternStats struct {
 	FilteredOut     uint64
 }
 
+// Footprint is the retained state of a pattern operator: what the
+// garbage collector, the telemetry gauges and the tests observe.
+// Partials counts legacy-kernel partial combinations; RunNodes and
+// PredEntries count the automaton kernel's shared-run DAG (nodes and
+// predecessor-set entries — a range predecessor counts as one entry
+// regardless of how many nodes it spans, which is exactly the
+// sharing the automaton buys).
+type Footprint struct {
+	Partials    int
+	NegBuffered int
+	Pending     int
+	RunNodes    int
+	PredEntries int
+}
+
+// Retained sums the footprint's record counts (used by tests that
+// only care whether state is held at all).
+func (f Footprint) Retained() int {
+	return f.Partials + f.NegBuffered + f.Pending + f.RunNodes + f.PredEntries
+}
+
+// kernel is the internal engine behind a Pattern: either the
+// shared-run automaton (runs.go) or the preserved legacy kernel
+// (pattern_legacy.go). Both consume the same compiled Program.
+type kernel interface {
+	advance(now event.Time, out []*Match) []*Match
+	process(batch []*event.Event, out []*Match) []*Match
+	reset()
+	stats() PatternStats
+	footprint() Footprint
+	release(ms []*Match)
+	arenaChunks() int
+}
+
 // Pattern is the P operator (paper §4.1): it consumes an event
 // stream and incrementally constructs the event sequences matched by
 // SEQ, honoring negation and eagerly applied filter predicates.
-// Partial matches held between invocations are the query's "context
-// history" (§6.2); Reset discards them.
+// Partial state held between invocations is the query's "context
+// history" (§6.2); Reset discards it.
 //
-// All kernel state — partial records, binding regions, Match and
-// pendingMatch records — lives in a per-operator arena (arena.go) and
-// recycles on expiry, rejection, Reset and Release, so steady-state
-// extension performs no heap allocation.
+// The spec is first compiled into a Program (automaton.go): the SEQ
+// steps become automaton states, and WHERE conjuncts are scheduled
+// onto the earliest transition (or the latest enumeration level)
+// where their variables are bound. The default kernel then runs the
+// program over a shared-run DAG (runs.go) with lazy match
+// enumeration; PatternSpec.LegacyKernel selects the preserved
+// per-combination kernel instead.
+//
+// All kernel state — run nodes, partial records, binding regions,
+// Match and pendingMatch records — lives in a per-operator arena
+// (arena.go) and recycles on expiry, rejection, Reset and Release,
+// so steady-state processing performs no heap allocation.
 type Pattern struct {
-	spec  PatternSpec
-	arena *kernelArena
-
-	// filterAt[i] lists the indices of spec.Filters that become fully
-	// bound once step i is bound.
-	filterAt [][]int
-
-	// partials[i] holds prefixes that have bound steps 0..i-1 and
-	// await step i (1 <= i < len(Steps)).
-	partials [][]*partial
-	// negBuf[j] buffers events of negation j's type, bounded by
-	// 2*Horizon so that completion-time negation checks see every
-	// event that can fall within a live match's span. The buffer is a
-	// ring over a slice: negHead[j] marks the first live entry, expiry
-	// advances it, and the slice compacts only when the dead prefix
-	// dominates — no per-Advance reshuffling.
-	negBuf  [][]*event.Event
-	negHead []int
-	// negIdx[j] indexes the live part of negBuf[j] by the negation's
-	// hash-join attribute (nil when the negation has no equi-join
-	// condition or indexing is disabled): completion-time checks then
-	// probe one bucket instead of scanning the buffer. Buckets are
-	// arena-recycled rings that mirror negBuf's head-offset discipline,
-	// so expiry pops fronts and appends reuse tail capacity — no map
-	// rebuild, no per-trim slice churn. Emptied buckets stay mapped
-	// (their key usually comes back); negIdxEmpty[j] counts them, and
-	// a sweep returns them to the arena only when they dominate.
-	negIdx      []map[event.Value]*negBucket
-	negIdxEmpty []int
-	// pending holds completed matches waiting out a trailing
-	// negation's deadline.
-	pending []*pendingMatch
-
-	scratch []*event.Event // negation condition evaluation buffer
-	stats   PatternStats
+	prog *Program
+	k    kernel
 }
 
-// partial is one pattern-match prefix. Records and their binding
-// regions are arena-managed; see arena.go for the lifecycle.
-type partial struct {
-	binding    []*event.Event
-	firstStart event.Time
-	lastEnd    event.Time
-	arrival    int64
-}
-
+// pendingMatch is a completed match waiting out a trailing
+// negation's deadline. Both kernels share the representation (and
+// its arena pool).
 type pendingMatch struct {
 	m        *Match
 	lastEnd  event.Time
@@ -108,97 +122,42 @@ type pendingMatch struct {
 	killed   bool
 }
 
-// negBucket is one hash bucket of a negation index: a ring over a
-// slice, like negBuf itself. evs[head:] is the live portion in stream
-// order; expiry advances head and compaction runs only when the dead
-// prefix dominates. Buckets recycle through the arena.
-type negBucket struct {
-	evs  []*event.Event
-	head int
-}
-
-// empty reports whether the bucket holds no live events.
-func (b *negBucket) empty() bool { return b.head == len(b.evs) }
-
-// NewPattern validates the spec and builds the operator.
+// NewPattern validates the spec, compiles it and builds the operator.
 func NewPattern(spec PatternSpec) (*Pattern, error) {
-	if len(spec.Steps) == 0 {
-		return nil, fmt.Errorf("algebra: pattern needs at least one positive step")
+	prog, err := CompileProgram(spec)
+	if err != nil {
+		return nil, err
 	}
-	if spec.Horizon <= 0 {
-		return nil, fmt.Errorf("algebra: pattern horizon must be positive, got %d", spec.Horizon)
-	}
-	p := &Pattern{spec: spec, arena: newKernelArena(spec.NumSlots)}
-	// Eager filter schedule: a filter runs at the first step where
-	// its variable set is fully bound.
-	bound := predicate.VarSet(0)
-	p.filterAt = make([][]int, len(spec.Steps))
-	scheduled := make([]bool, len(spec.Filters))
-	for i, st := range spec.Steps {
-		bound = bound.With(st.Slot)
-		for fi, f := range spec.Filters {
-			if !scheduled[fi] && f.Vars().SubsetOf(bound) {
-				p.filterAt[i] = append(p.filterAt[i], fi)
-				scheduled[fi] = true
-			}
-		}
-	}
-	for fi, ok := range scheduled {
-		if !ok {
-			return nil, fmt.Errorf("algebra: filter %s references unbound variables", spec.Filters[fi])
-		}
-	}
-	p.partials = make([][]*partial, len(spec.Steps))
-	p.negBuf = make([][]*event.Event, len(spec.Negs))
-	p.negHead = make([]int, len(spec.Negs))
-	p.negIdx = make([]map[event.Value]*negBucket, len(spec.Negs))
-	p.negIdxEmpty = make([]int, len(spec.Negs))
-	for j := range spec.Negs {
-		if spec.Negs[j].HashProbe != nil && !spec.DisableNegIndex {
-			p.negIdx[j] = map[event.Value]*negBucket{}
-		}
-	}
-	p.scratch = make([]*event.Event, spec.NumSlots)
-	return p, nil
+	return NewPatternFromProgram(prog), nil
 }
+
+// NewPatternFromProgram builds an operator instance over an already
+// compiled program. The plan layer compiles one Program per query
+// plan and shares it across all partition instances; the program is
+// immutable after compilation, so sharing is safe across workers.
+func NewPatternFromProgram(prog *Program) *Pattern {
+	p := &Pattern{prog: prog}
+	if prog.Spec.LegacyKernel {
+		p.k = newLegacyKernel(prog)
+	} else {
+		p.k = newAutoKernel(prog)
+	}
+	return p
+}
+
+// Program returns the compiled program the operator runs.
+func (p *Pattern) Program() *Program { return p.prog }
 
 // Stats returns a copy of the operator counters.
-func (p *Pattern) Stats() PatternStats { return p.stats }
+func (p *Pattern) Stats() PatternStats { return p.k.stats() }
 
-// Reset discards all partial matches, negation buffers and pending
+// Reset discards all partial state, negation buffers and pending
 // emissions. The runtime calls it when the query's original context
 // window ends and its history may be safely discarded (§6.2). The
 // discarded records return to the arena, so context-window
 // close/reopen cycles reuse the same memory instead of churning the
 // allocator.
-func (p *Pattern) Reset() {
-	for i := range p.partials {
-		for _, pa := range p.partials[i] {
-			p.arena.putPartial(pa)
-		}
-		p.partials[i] = p.partials[i][:0]
-	}
-	for j := range p.negBuf {
-		nb := p.negBuf[j]
-		for k := p.negHead[j]; k < len(nb); k++ {
-			nb[k] = nil
-		}
-		p.negBuf[j] = nb[:0]
-		p.negHead[j] = 0
-		if idx := p.negIdx[j]; idx != nil {
-			for _, b := range idx {
-				p.arena.putBucket(b)
-			}
-			clear(idx)
-			p.negIdxEmpty[j] = 0
-		}
-	}
-	for _, pm := range p.pending {
-		p.arena.putMatch(pm.m)
-		p.arena.putPending(pm)
-	}
-	p.pending = p.pending[:0]
-}
+func (p *Pattern) Reset() { p.k.reset() }
 
 // Release returns emitted matches to the operator's arena for reuse.
 // The caller that drained Advance/Process output calls it once it has
@@ -206,130 +165,25 @@ func (p *Pattern) Reset() {
 // bindings must not be read afterwards. Callers that retain matches
 // (tests, ad-hoc drivers) simply never call it — the arena then grows
 // like the pre-arena kernel allocated.
-func (p *Pattern) Release(ms []*Match) {
-	for _, m := range ms {
-		p.arena.putMatch(m)
-	}
-}
+func (p *Pattern) Release(ms []*Match) { p.k.release(ms) }
 
 // ArenaChunks reports how many slabs the operator's arena has
 // allocated over its lifetime — the telemetry layer's occupancy
 // signal (a warmed steady state allocates none).
-func (p *Pattern) ArenaChunks() int { return p.arena.chunks }
+func (p *Pattern) ArenaChunks() int { return p.k.arenaChunks() }
 
-// MemoryFootprint returns the number of retained partials, buffered
-// negation events and pending matches; the garbage collector and
-// tests observe it.
-func (p *Pattern) MemoryFootprint() (partials, negBuffered, pending int) {
-	for _, ps := range p.partials {
-		partials += len(ps)
-	}
-	for j, nb := range p.negBuf {
-		negBuffered += len(nb) - p.negHead[j]
-	}
-	return partials, negBuffered, len(p.pending)
-}
+// MemoryFootprint returns the operator's retained state counts; the
+// garbage collector, the per-query telemetry gauges and tests
+// observe it.
+func (p *Pattern) MemoryFootprint() Footprint { return p.k.footprint() }
 
 // Advance moves the operator's clock to now: it expires partial
-// matches older than the horizon, prunes negation buffers, and
-// flushes pending matches whose trailing-negation deadline has
-// passed, appending them to out. Call once per stream transaction,
-// before Process.
+// state older than the horizon, prunes negation buffers, and flushes
+// pending matches whose trailing-negation deadline has passed,
+// appending them to out. Call once per stream transaction, before
+// Process.
 func (p *Pattern) Advance(now event.Time, out []*Match) []*Match {
-	cut := now - event.Time(p.spec.Horizon)
-	for i := 1; i < len(p.partials); i++ {
-		ps := p.partials[i]
-		kept := ps[:0]
-		for _, pa := range ps {
-			if pa.firstStart >= cut {
-				kept = append(kept, pa)
-			} else {
-				p.stats.PartialsExpired++
-				p.arena.putPartial(pa)
-			}
-		}
-		p.partials[i] = kept
-	}
-	negCut := now - 2*event.Time(p.spec.Horizon)
-	for j := range p.negBuf {
-		p.expireNegBuf(j, negCut)
-	}
-	if len(p.pending) > 0 {
-		kept := p.pending[:0]
-		for _, pm := range p.pending {
-			switch {
-			case pm.killed:
-				p.arena.putMatch(pm.m)
-				p.arena.putPending(pm)
-			case pm.deadline < now:
-				out = append(out, pm.m)
-				p.stats.MatchesEmitted++
-				p.arena.putPending(pm)
-			default:
-				kept = append(kept, pm)
-			}
-		}
-		p.pending = kept
-	}
-	return out
-}
-
-// expireNegBuf advances negation j's ring head past expired events,
-// trimming the index buckets in step. Events enter the buffer (and
-// their bucket) in stream order and End() is non-decreasing, so the
-// expired set is a prefix of both the buffer and each bucket — each
-// expired event pops its bucket's front. Compaction runs only when
-// the dead prefix dominates the buffer, keeping amortized cost
-// O(expired) instead of the previous O(live) map rebuild.
-func (p *Pattern) expireNegBuf(j int, negCut event.Time) {
-	nb := p.negBuf[j]
-	h := p.negHead[j]
-	idx := p.negIdx[j]
-	field := p.spec.Negs[j].HashField
-	for h < len(nb) && nb[h].End() < negCut {
-		if idx != nil {
-			b := idx[nb[h].At(field)]
-			b.evs[b.head] = nil
-			b.head++
-			switch {
-			case b.empty():
-				b.evs = b.evs[:0]
-				b.head = 0
-				p.negIdxEmpty[j]++
-			case b.head > 32 && 2*b.head >= len(b.evs):
-				n := copy(b.evs, b.evs[b.head:])
-				for i := n; i < len(b.evs); i++ {
-					b.evs[i] = nil
-				}
-				b.evs = b.evs[:n]
-				b.head = 0
-			}
-		}
-		nb[h] = nil
-		h++
-	}
-	switch {
-	case h == len(nb):
-		nb = nb[:0]
-		h = 0
-	case h > 64 && 2*h >= len(nb):
-		n := copy(nb, nb[h:])
-		nb = nb[:n]
-		h = 0
-	}
-	p.negBuf[j] = nb
-	p.negHead[j] = h
-	// Evict mapped-but-empty buckets only once they dominate the map —
-	// a hot key's bucket then stays put across live/empty cycles.
-	if idx != nil && p.negIdxEmpty[j] > 64 && 2*p.negIdxEmpty[j] >= len(idx) {
-		for k, b := range idx {
-			if b.empty() {
-				delete(idx, k)
-				p.arena.putBucket(b)
-			}
-		}
-		p.negIdxEmpty[j] = 0
-	}
+	return p.k.advance(now, out)
 }
 
 // Process consumes one batch of events (all with the same occurrence
@@ -337,222 +191,17 @@ func (p *Pattern) expireNegBuf(j int, negCut event.Time) {
 // matches to out. Events whose type matches no step or negation are
 // ignored.
 func (p *Pattern) Process(batch []*event.Event, out []*Match) []*Match {
-	for _, e := range batch {
-		out = p.processEvent(e, out)
-	}
-	return out
-}
-
-func (p *Pattern) processEvent(e *event.Event, out []*Match) []*Match {
-	p.stats.EventsSeen++
-	// Negation bookkeeping first: an event can serve both as a step
-	// and as a negation of another variable's type.
-	for j := range p.spec.Negs {
-		n := &p.spec.Negs[j]
-		if n.Schema != e.Schema {
-			continue
-		}
-		p.negBuf[j] = append(p.negBuf[j], e)
-		if idx := p.negIdx[j]; idx != nil {
-			k := e.At(n.HashField)
-			b := idx[k]
-			switch {
-			case b == nil:
-				b = p.arena.getBucket()
-				idx[k] = b
-			case b.empty():
-				b.evs = b.evs[:0]
-				b.head = 0
-				p.negIdxEmpty[j]--
-			}
-			b.evs = append(b.evs, e)
-		}
-		if n.Anchor == len(p.spec.Steps) {
-			p.killPending(n, j, e)
-		}
-	}
-	steps := p.spec.Steps
-	for i := range steps {
-		if steps[i].Schema != e.Schema {
-			continue
-		}
-		if i == 0 {
-			out = p.startPartial(e, out)
-		} else {
-			out = p.extendPartials(i, e, out)
-		}
-	}
-	return out
-}
-
-// startPartial begins a new prefix at step 0 (or completes a match
-// for single-step patterns).
-func (p *Pattern) startPartial(e *event.Event, out []*Match) []*Match {
-	binding := p.arena.getBinding()
-	binding[p.spec.Steps[0].Slot] = e
-	if !p.runFilters(0, binding) {
-		p.arena.putBinding(binding)
-		return out
-	}
-	p.stats.PartialsCreated++
-	if len(p.spec.Steps) == 1 {
-		return p.complete(binding, e.Time.Start, e.Time.End, e.Arrival, out)
-	}
-	pa := p.arena.getPartial()
-	pa.binding = binding
-	pa.firstStart = e.Time.Start
-	pa.lastEnd = e.Time.End
-	pa.arrival = e.Arrival
-	p.partials[1] = append(p.partials[1], pa)
-	return out
-}
-
-func (p *Pattern) extendPartials(i int, e *event.Event, out []*Match) []*Match {
-	slot := p.spec.Steps[i].Slot
-	last := i == len(p.spec.Steps)-1
-	// Iterate over a snapshot length: completions during iteration
-	// never append to partials[i].
-	ps := p.partials[i]
-	for _, pa := range ps {
-		// Strict sequencing (§4.1): e_i.time < e_{i+1}.time; for
-		// interval events the previous match part must end before the
-		// next begins.
-		if pa.lastEnd >= e.Time.Start {
-			continue
-		}
-		binding := p.arena.getBinding()
-		copy(binding, pa.binding)
-		binding[slot] = e
-		if !p.runFilters(i, binding) {
-			p.arena.putBinding(binding)
-			continue
-		}
-		p.stats.PartialsCreated++
-		arrival := maxI64(pa.arrival, e.Arrival)
-		if last {
-			out = p.complete(binding, pa.firstStart, e.Time.End, arrival, out)
-		} else {
-			ext := p.arena.getPartial()
-			ext.binding = binding
-			ext.firstStart = pa.firstStart
-			ext.lastEnd = e.Time.End
-			ext.arrival = arrival
-			p.partials[i+1] = append(p.partials[i+1], ext)
-		}
-	}
-	return out
-}
-
-func (p *Pattern) runFilters(step int, binding []*event.Event) bool {
-	for _, fi := range p.filterAt[step] {
-		if !p.spec.Filters[fi].EvalBool(binding) {
-			p.stats.FilteredOut++
-			return false
-		}
-	}
-	return true
-}
-
-// complete finalizes a full binding: leading and mid-anchored
-// negations are checked against the buffered negation events; a
-// trailing negation defers emission until its deadline. The binding's
-// ownership moves into the emitted Match (or back to the arena on
-// rejection).
-func (p *Pattern) complete(binding []*event.Event, firstStart, lastEnd event.Time, arrival int64, out []*Match) []*Match {
-	n := len(p.spec.Steps)
-	for j := range p.spec.Negs {
-		neg := &p.spec.Negs[j]
-		if neg.Anchor == n {
-			continue
-		}
-		if p.negationViolated(neg, j, binding) {
-			p.stats.MatchesNegated++
-			p.arena.putBinding(binding)
-			return out
-		}
-	}
-	m := p.arena.getMatch()
-	m.Binding = binding
-	m.Time = event.Interval{Start: firstStart, End: lastEnd}
-	m.Arrival = arrival
-	if p.hasTrailingNeg() {
-		pm := p.arena.getPending()
-		pm.m = m
-		pm.lastEnd = lastEnd
-		pm.deadline = lastEnd + event.Time(p.spec.Horizon)
-		p.pending = append(p.pending, pm)
-		return out
-	}
-	p.stats.MatchesEmitted++
-	return append(out, m)
-}
-
-func (p *Pattern) hasTrailingNeg() bool {
-	n := len(p.spec.Steps)
-	for j := range p.spec.Negs {
-		if p.spec.Negs[j].Anchor == n {
-			return true
-		}
-	}
-	return false
-}
-
-// negationViolated reports whether some buffered event of negation
-// neg falls strictly between the anchoring positive events and
-// satisfies all the negation's conditions (paper §4.1, sequence with
-// negation).
-func (p *Pattern) negationViolated(neg *model.Negation, j int, binding []*event.Event) bool {
-	var lo event.Time = -1 << 62
-	if neg.Anchor > 0 {
-		lo = binding[p.spec.Steps[neg.Anchor-1].Slot].Time.End
-	}
-	hi := binding[p.spec.Steps[neg.Anchor].Slot].Time.Start
-	candidates := p.negBuf[j][p.negHead[j]:]
-	if idx := p.negIdx[j]; idx != nil {
-		// Probe only the bucket matching the equi-join key; the
-		// residual conditions below re-verify it.
-		candidates = nil
-		if b := idx[neg.HashProbe.Eval(binding)]; b != nil {
-			candidates = b.evs[b.head:]
-		}
-	}
-	for _, nv := range candidates {
-		if nv.Time.Start <= lo || nv.Time.End >= hi {
-			continue
-		}
-		if p.negCondsHold(neg, binding, nv) {
-			return true
-		}
-	}
-	return false
-}
-
-func (p *Pattern) negCondsHold(neg *model.Negation, binding []*event.Event, nv *event.Event) bool {
-	copy(p.scratch, binding)
-	p.scratch[neg.Slot] = nv
-	for _, c := range neg.Conds {
-		if !c.EvalBool(p.scratch) {
-			return false
-		}
-	}
-	return true
-}
-
-// killPending invalidates pending matches whose trailing negation is
-// violated by the newly arrived event nv.
-func (p *Pattern) killPending(neg *model.Negation, j int, nv *event.Event) {
-	for _, pm := range p.pending {
-		if pm.killed || nv.Time.Start <= pm.lastEnd {
-			continue
-		}
-		if p.negCondsHold(neg, pm.m.Binding, nv) {
-			pm.killed = true
-			p.stats.MatchesNegated++
-		}
-	}
+	return p.k.process(batch, out)
 }
 
 func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxT(a, b event.Time) event.Time {
 	if a > b {
 		return a
 	}

@@ -77,6 +77,46 @@ func benchPattern(b *testing.B, s *benchStream, p *Pattern) {
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(s.evs)), "ns/event")
 }
 
+// twoStepJoinStream is the join-heavy SEQ(A a, B b) WHERE a.k = b.k
+// workload: 1024 A/B pairs over a 16-value key space under a horizon
+// that keeps hundreds of As live, so every B faces a wide join
+// frontier. The legacy kernel scans every live partial per B; the
+// automaton kernel probes one hash bucket and walks only the
+// key-matching predecessors.
+func twoStepJoinStream(b *testing.B, legacy bool) (*benchStream, *Pattern) {
+	b.Helper()
+	spec, m := compileQuerySpec(b, patternModels, 1, 1000)
+	spec.LegacyKernel = legacy
+	sa, _ := m.Registry.Lookup("A")
+	sb, _ := m.Registry.Lookup("B")
+	evs := make([]*event.Event, 0, 2048)
+	for i := 0; i < 1024; i++ {
+		evs = append(evs,
+			event.MustNew(sa, event.Time(2*i), event.Int64(int64(i)), event.Int64(int64(i%16))),
+			event.MustNew(sb, event.Time(2*i+1), event.Int64(int64(i)), event.Int64(int64(i%16))))
+	}
+	p, err := NewPattern(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return newBenchStream(evs), p
+}
+
+// BenchmarkPatternTwoStepJoin measures the shared-run automaton on the
+// join-heavy two-step workload in steady state.
+func BenchmarkPatternTwoStepJoin(b *testing.B) {
+	s, p := twoStepJoinStream(b, false)
+	benchPattern(b, s, p)
+}
+
+// BenchmarkPatternTwoStepJoinLegacy runs the identical workload on the
+// preserved per-combination kernel — the ablation baseline for the
+// automaton's join speedup.
+func BenchmarkPatternTwoStepJoinLegacy(b *testing.B) {
+	s, p := twoStepJoinStream(b, true)
+	benchPattern(b, s, p)
+}
+
 // BenchmarkPatternExtensionHeavy exercises the partial-extension hot
 // path: SEQ(A a, B b, C c) with two equi-join conjuncts, every event
 // participating, and narrow key space so each B extends several As.

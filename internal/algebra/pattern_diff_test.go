@@ -1,0 +1,124 @@
+package algebra
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// matchTrace renders matches in emission order, including the match
+// interval and arrival stamp — the automaton must reproduce the
+// legacy kernel's emissions exactly, not merely as a set.
+func matchTrace(ms []*Match) []string {
+	keys := make([]string, len(ms))
+	for i, m := range ms {
+		keys[i] = fmt.Sprintf("%s@[%d,%d]a%d", matchKey(m), m.Time.Start, m.Time.End, m.Arrival)
+	}
+	return keys
+}
+
+// joinHeavyStream generates a stream biased toward wide join
+// frontiers: two key values, dense duplicate timestamps, an A-heavy
+// type mix (joins fan out from step 0), and v values stepping in tens
+// so the NOT-step arithmetic filter (query 3) fires regularly.
+func joinHeavyStream(rng *rand.Rand, reg *event.Registry, n int) []*event.Event {
+	types := []string{"A", "A", "B", "C"}
+	evs := make([]*event.Event, 0, n)
+	ts := event.Time(0)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) > 0 {
+			ts += event.Time(rng.Intn(2) + 1)
+		}
+		s, _ := reg.Lookup(types[rng.Intn(len(types))])
+		e := event.MustNew(s, ts,
+			event.Int64(int64(rng.Intn(8)*10)), event.Int64(int64(rng.Intn(2))))
+		e.Arrival = int64(i + 1)
+		evs = append(evs, e)
+	}
+	return evs
+}
+
+// TestKernelDifferentialFuzz drives the shared-run automaton and the
+// preserved legacy kernel over seeded join-heavy random streams —
+// runtime-style tick grouping, mid-stream Resets, Release after every
+// drain so recycled records are actively reused — and requires
+// identical emissions (bindings, order, match intervals, arrival
+// stamps) at every drain point, plus exact parity on the
+// kernel-independent counters (EventsSeen, MatchesEmitted,
+// MatchesNegated; the partial/filter counters are kernel-specific by
+// construction, see PatternStats).
+func TestKernelDifferentialFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(1318))
+	for qi := 0; qi < 6; qi++ {
+		for trial := 0; trial < 40; trial++ {
+			spec, m := compileQuerySpec(t, patternModels, qi, int64(10+rng.Intn(80)))
+			legacy := spec
+			legacy.LegacyKernel = true
+			ak, err := NewPattern(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lk, err := NewPattern(legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs := joinHeavyStream(rng, m.Registry, 80)
+			resetAt := -1
+			if rng.Intn(3) == 0 {
+				resetAt = rng.Intn(len(evs))
+			}
+
+			var gotAll, wantAll [][]string
+			var aScratch, lScratch []*Match
+			i := 0
+			for i < len(evs) {
+				ts := evs[i].End()
+				j := i
+				for j < len(evs) && evs[j].End() == ts {
+					j++
+				}
+				if resetAt >= i && resetAt < j {
+					ak.Reset()
+					lk.Reset()
+				}
+				got := ak.Advance(ts, aScratch[:0])
+				got = ak.Process(evs[i:j], got)
+				gotAll = append(gotAll, matchTrace(got))
+				ak.Release(got)
+				aScratch = got
+
+				want := lk.Advance(ts, lScratch[:0])
+				want = lk.Process(evs[i:j], want)
+				wantAll = append(wantAll, matchTrace(want))
+				lk.Release(want)
+				lScratch = want
+				i = j
+			}
+			flush := event.Time(1) << 40
+			got := ak.Advance(flush, aScratch[:0])
+			gotAll = append(gotAll, matchTrace(got))
+			ak.Release(got)
+			want := lk.Advance(flush, lScratch[:0])
+			wantAll = append(wantAll, matchTrace(want))
+			lk.Release(want)
+
+			if !reflect.DeepEqual(gotAll, wantAll) {
+				t.Fatalf("query %d trial %d: kernels disagree\nstream: %v\n automaton: %v\n    legacy: %v",
+					qi, trial, evs, gotAll, wantAll)
+			}
+			as, ls := ak.Stats(), lk.Stats()
+			if as.EventsSeen != ls.EventsSeen || as.MatchesEmitted != ls.MatchesEmitted ||
+				as.MatchesNegated != ls.MatchesNegated {
+				t.Fatalf("query %d trial %d: kernel-independent stats diverge\nautomaton: %+v\n   legacy: %+v",
+					qi, trial, as, ls)
+			}
+			ak.Reset()
+			if f := ak.MemoryFootprint(); f.Retained() != 0 {
+				t.Fatalf("query %d trial %d: automaton retains state after Reset: %+v", qi, trial, f)
+			}
+		}
+	}
+}

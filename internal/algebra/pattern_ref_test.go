@@ -47,7 +47,7 @@ func newRefPattern(spec PatternSpec) *refPattern {
 	if err != nil {
 		panic(err)
 	}
-	p.filterAt = kp.filterAt
+	p.filterAt = kp.prog.filterAt
 	p.partials = make([][]*refPartial, len(spec.Steps))
 	p.negBuf = make([][]*event.Event, len(spec.Negs))
 	p.negIdx = make([]map[event.Value][]*event.Event, len(spec.Negs))

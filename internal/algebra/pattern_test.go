@@ -240,11 +240,11 @@ func TestPatternReset(t *testing.T) {
 	var out []*Match
 	out = p.Advance(1, out)
 	out = p.Process([]*event.Event{mev(t, reg, "A", 1, 1, 7)}, out)
-	if pa, _, _ := p.MemoryFootprint(); pa != 1 {
-		t.Fatalf("partials = %d, want 1", pa)
+	if f := p.MemoryFootprint(); f.Retained() != 1 {
+		t.Fatalf("retained = %d (%+v), want 1", f.Retained(), f)
 	}
 	p.Reset()
-	if pa, nb, pe := p.MemoryFootprint(); pa != 0 || nb != 0 || pe != 0 {
+	if f := p.MemoryFootprint(); f.Retained() != 0 {
 		t.Fatal("reset did not clear state")
 	}
 	// After reset the old A is forgotten: B alone does not match.
@@ -316,39 +316,4 @@ func randomStream(rng *rand.Rand, reg *event.Registry, n int) []*event.Event {
 			event.Int64(int64(rng.Intn(80))), event.Int64(int64(rng.Intn(3)))))
 	}
 	return evs
-}
-
-func BenchmarkPatternTwoStepJoin(b *testing.B) {
-	spec, m := compileQuerySpec(b, patternModels, 1, 1000)
-	s, _ := m.Registry.Lookup("A")
-	sb, _ := m.Registry.Lookup("B")
-	evs := make([]*event.Event, 0, 2048)
-	for i := 0; i < 1024; i++ {
-		evs = append(evs, event.MustNew(s, event.Time(2*i), event.Int64(int64(i)), event.Int64(int64(i%16))))
-		evs = append(evs, event.MustNew(sb, event.Time(2*i+1), event.Int64(int64(i)), event.Int64(int64(i%16))))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		p, _ := NewPattern(spec)
-		out := runPatternB(p, evs)
-		if len(out) == 0 {
-			b.Fatal("no matches")
-		}
-	}
-}
-
-func runPatternB(p *Pattern, events []*event.Event) []*Match {
-	var out []*Match
-	i := 0
-	for i < len(events) {
-		ts := events[i].End()
-		j := i
-		for j < len(events) && events[j].End() == ts {
-			j++
-		}
-		out = p.Advance(ts, out)
-		out = p.Process(events[i:j], out)
-		i = j
-	}
-	return p.Advance(1<<40, out)
 }

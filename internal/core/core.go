@@ -55,6 +55,10 @@ type Config struct {
 	// DefaultHorizon overrides the default pattern matching horizon
 	// (see plan.DefaultHorizon).
 	DefaultHorizon int64
+	// LegacyPatternKernel runs patterns on the preserved
+	// per-combination kernel instead of the shared-run automaton
+	// (differential testing and ablation benchmarks).
+	LegacyPatternKernel bool
 	// CollectOutputs retains derived events in Stats.Outputs.
 	CollectOutputs bool
 	// OnOutput receives every derived event; called concurrently
@@ -93,6 +97,7 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		opts = plan.NonOptimized()
 	}
 	opts.DefaultHorizon = cfg.DefaultHorizon
+	opts.LegacyKernel = cfg.LegacyPatternKernel
 
 	p, err := plan.Build(m, opts)
 	if err != nil {

@@ -43,6 +43,10 @@ type Options struct {
 	// DisableNegIndex turns off the negation-buffer hash index (an
 	// ablation knob; see the negation-index benchmarks).
 	DisableNegIndex bool
+	// LegacyKernel runs patterns on the preserved per-combination
+	// kernel instead of the shared-run automaton (differential
+	// testing and ablation benchmarks).
+	LegacyKernel bool
 }
 
 // Optimized returns the options of the fully optimized plan shape.
@@ -64,6 +68,13 @@ type QueryPlan struct {
 	Query   *model.Query
 	Opts    Options
 	Horizon int64
+
+	// prog is the query's pattern compiled into an automaton program
+	// (algebra.CompileProgram). Build compiles it once; every
+	// partition instance — including fused multi-query instances —
+	// shares the immutable program instead of recompiling the filter
+	// schedule and transition classification per partition.
+	prog *algebra.Program
 }
 
 // Plan is the combined query plan of a whole model: one QueryPlan
@@ -94,9 +105,32 @@ func Build(m *model.Model, opts Options) (*Plan, error) {
 		if err := validateTrailingNegation(q); err != nil {
 			return nil, err
 		}
-		p.Queries = append(p.Queries, &QueryPlan{Query: q, Opts: opts, Horizon: h})
+		qp := &QueryPlan{Query: q, Opts: opts, Horizon: h}
+		qp.prog, err = algebra.CompileProgram(patternSpec(qp))
+		if err != nil {
+			return nil, fmt.Errorf("plan: %s: %w", q.Name, err)
+		}
+		p.Queries = append(p.Queries, qp)
 	}
 	return p, nil
+}
+
+// patternSpec assembles the pattern operator spec of one query under
+// the plan's options.
+func patternSpec(qp *QueryPlan) algebra.PatternSpec {
+	q := qp.Query
+	spec := algebra.PatternSpec{
+		Steps:           q.Pattern.Steps,
+		Negs:            q.Pattern.Negs,
+		NumSlots:        q.Env.Len(),
+		Horizon:         qp.Horizon,
+		DisableNegIndex: qp.Opts.DisableNegIndex,
+		LegacyKernel:    qp.Opts.LegacyKernel,
+	}
+	if qp.Opts.EagerFilters {
+		spec.Filters = q.Filters
+	}
+	return spec
 }
 
 // validateTrailingNegation requires an explicit WITHIN for queries
@@ -181,21 +215,15 @@ func (qp *QueryPlan) NewInstance(vec *algebra.Vector, mask uint64) (*Instance, e
 	}
 	inst := &Instance{Plan: qp, Mask: mask}
 
-	spec := algebra.PatternSpec{
-		Steps:           q.Pattern.Steps,
-		Negs:            q.Pattern.Negs,
-		NumSlots:        q.Env.Len(),
-		Horizon:         qp.Horizon,
-		DisableNegIndex: qp.Opts.DisableNegIndex,
+	if qp.prog == nil {
+		// Plans constructed outside Build (tests) compile on demand.
+		prog, err := algebra.CompileProgram(patternSpec(qp))
+		if err != nil {
+			return nil, fmt.Errorf("plan: %s: %w", q.Name, err)
+		}
+		qp.prog = prog
 	}
-	if qp.Opts.EagerFilters {
-		spec.Filters = q.Filters
-	}
-	pat, err := algebra.NewPattern(spec)
-	if err != nil {
-		return nil, fmt.Errorf("plan: %s: %w", q.Name, err)
-	}
-	inst.pattern = pat
+	inst.pattern = algebra.NewPatternFromProgram(qp.prog)
 
 	if !qp.Opts.EagerFilters {
 		inst.filter = algebra.NewFilter(q.Filters)
@@ -328,7 +356,7 @@ func (in *Instance) Reset() {
 func (in *Instance) PatternStats() algebra.PatternStats { return in.pattern.Stats() }
 
 // Footprint reports retained state sizes (see Pattern.MemoryFootprint).
-func (in *Instance) Footprint() (partials, negBuffered, pending int) {
+func (in *Instance) Footprint() algebra.Footprint {
 	return in.pattern.MemoryFootprint()
 }
 

@@ -326,11 +326,11 @@ func TestInstanceResetDropsHistory(t *testing.T) {
 	pr, _ := m.Registry.Lookup("PositionReport")
 	e := event.MustNew(pr, 10, event.Int64(1), event.Int64(1), event.Int64(10))
 	inst.Exec(10, []*event.Event{e}, nil, nil)
-	if _, nb, _ := inst.Footprint(); nb == 0 {
+	if f := inst.Footprint(); f.NegBuffered == 0 {
 		t.Fatal("negation buffer empty after event")
 	}
 	inst.Reset()
-	if pa, nb, pe := inst.Footprint(); pa+nb+pe != 0 {
+	if f := inst.Footprint(); f.Retained() != 0 {
 		t.Error("reset kept state")
 	}
 	if inst.PatternStats().EventsSeen != 1 {

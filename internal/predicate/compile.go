@@ -91,6 +91,22 @@ type Compiled struct {
 	kind event.Kind
 	vars VarSet
 	src  string
+
+	// joinL/joinR are the independently compiled sides of a top-level
+	// equality (`L = R`), or nil for any other expression shape. The
+	// pattern automaton uses them to evaluate each side of an
+	// equi-join against a partially bound environment (hash keying).
+	joinL, joinR *Compiled
+}
+
+// EquiJoin returns the two sides of a top-level equality predicate,
+// each compiled as a standalone expression, and ok=true; for any
+// other expression shape ok is false.
+func (c *Compiled) EquiJoin() (l, r *Compiled, ok bool) {
+	if c.joinL == nil || c.joinR == nil {
+		return nil, nil, false
+	}
+	return c.joinL, c.joinR, true
 }
 
 // Kind returns the statically inferred result kind.
@@ -165,7 +181,19 @@ func Compile(e lang.Expr, env *Env) (*Compiled, error) {
 		fn := n.fn
 		bfn = func(b []*event.Event) bool { return fn(b).AsBool() }
 	}
-	return &Compiled{fn: n.fn, bfn: bfn, kind: n.kind, vars: n.vars, src: e.String()}, nil
+	c := &Compiled{fn: n.fn, bfn: bfn, kind: n.kind, vars: n.vars, src: e.String()}
+	// Decompose a top-level equality into its sides so equi-join
+	// consumers can key on either one. Both sides compiled fine a
+	// moment ago as subexpressions, so errors are impossible here;
+	// guard anyway and simply skip the decomposition.
+	if x, ok := e.(*lang.BinaryExpr); ok && x.Op == lang.OpEq {
+		if l, err := Compile(x.L, env); err == nil {
+			if r, err := Compile(x.R, env); err == nil {
+				c.joinL, c.joinR = l, r
+			}
+		}
+	}
+	return c, nil
 }
 
 // CompileBool compiles an expression that must be boolean (a WHERE

@@ -90,6 +90,8 @@ type queryMetrics struct {
 	partials    telemetry.Gauge
 	negBuffered telemetry.Gauge
 	pending     telemetry.Gauge
+	runNodes    telemetry.Gauge
+	predEntries telemetry.Gauge
 }
 
 func newRunMetrics(e *Engine, nWorkers int) *runMetrics {
@@ -161,6 +163,8 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 		reg.Register("caesar_query_partials", "retained partial matches", &qm.partials, lbl)
 		reg.Register("caesar_query_neg_buffered", "buffered negation events", &qm.negBuffered, lbl)
 		reg.Register("caesar_query_pending", "matches awaiting a negation deadline", &qm.pending, lbl)
+		reg.Register("caesar_query_run_nodes", "shared automaton run nodes retained", &qm.runNodes, lbl)
+		reg.Register("caesar_query_pred_entries", "predecessor-set entries across run nodes", &qm.predEntries, lbl)
 	}
 	if rm.tracer != nil {
 		reg.Register("caesar_txn_spans_total", "transaction spans recorded", &rm.tracer.Spans)

@@ -154,7 +154,7 @@ type instanceState struct {
 	// per-operator increments without double counting.
 	qmIdx      int
 	lastStats  algebra.PatternStats
-	lastFoot   [3]int
+	lastFoot   algebra.Footprint
 	lastChunks int
 }
 
@@ -301,11 +301,13 @@ func (is *instanceState) publishDetail(rm *runMetrics) {
 // (the reset empties the operator without an Exec).
 func (is *instanceState) publishFootprint(rm *runMetrics) {
 	qm := &rm.query[is.qmIdx]
-	p, nb, pd := is.inst.Footprint()
-	qm.partials.Add(int64(p - is.lastFoot[0]))
-	qm.negBuffered.Add(int64(nb - is.lastFoot[1]))
-	qm.pending.Add(int64(pd - is.lastFoot[2]))
-	is.lastFoot = [3]int{p, nb, pd}
+	f := is.inst.Footprint()
+	qm.partials.Add(int64(f.Partials - is.lastFoot.Partials))
+	qm.negBuffered.Add(int64(f.NegBuffered - is.lastFoot.NegBuffered))
+	qm.pending.Add(int64(f.Pending - is.lastFoot.Pending))
+	qm.runNodes.Add(int64(f.RunNodes - is.lastFoot.RunNodes))
+	qm.predEntries.Add(int64(f.PredEntries - is.lastFoot.PredEntries))
+	is.lastFoot = f
 	ch := is.inst.ArenaChunks()
 	qm.arenaChunks.Add(uint64(ch - is.lastChunks))
 	is.lastChunks = ch

@@ -1,0 +1,44 @@
+package caesar
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestPatternKernelsByteIdentical is the engine-level acceptance
+// differential for the shared-run automaton: the full Linear Road
+// toll workload must produce byte-identical derived events and
+// identical run statistics whether patterns execute on the automaton
+// (the default) or on the preserved per-combination kernel, in both
+// the plain plan and the shared/fused multi-query plan.
+func TestPatternKernelsByteIdentical(t *testing.T) {
+	run := func(e *Engine, evs []*Event) (*Stats, error) {
+		return e.Run(NewSliceSource(evs))
+	}
+	outAuto, stAuto := runToll(t, Config{Workers: 3}, run)
+	outLegacy, stLegacy := runToll(t, Config{Workers: 3, LegacyPatternKernel: true}, run)
+	outAutoFused, _ := runToll(t, Config{Workers: 3, Sharing: true, FusePatterns: true}, run)
+	outLegacyFused, _ := runToll(t, Config{Workers: 3, Sharing: true, FusePatterns: true, LegacyPatternKernel: true}, run)
+
+	if outAuto == "" {
+		t.Fatal("toll workload derived nothing")
+	}
+	if outLegacy != outAuto {
+		t.Errorf("legacy kernel output diverges from the automaton (%d vs %d bytes)",
+			len(outLegacy), len(outAuto))
+	}
+	if outAutoFused != outLegacyFused {
+		t.Errorf("fused-plan outputs diverge across kernels (%d vs %d bytes)",
+			len(outAutoFused), len(outLegacyFused))
+	}
+	if stLegacy.Events != stAuto.Events || stLegacy.OutputCount != stAuto.OutputCount ||
+		stLegacy.Transitions != stAuto.Transitions || stLegacy.Partitions != stAuto.Partitions {
+		t.Errorf("kernel stats diverge: %+v vs %+v", stLegacy, stAuto)
+	}
+	if !reflect.DeepEqual(stLegacy.PerType, stAuto.PerType) {
+		t.Errorf("per-type counts diverge: %v vs %v", stLegacy.PerType, stAuto.PerType)
+	}
+	if !reflect.DeepEqual(stLegacy.Contexts, stAuto.Contexts) {
+		t.Errorf("context stats diverge: %v vs %v", stLegacy.Contexts, stAuto.Contexts)
+	}
+}

@@ -28,20 +28,25 @@ go test -run=NONE -bench='BenchmarkIngest' -benchmem -count="$count" \
 go test -run=NONE -bench='BenchmarkEngine(WireIngest|BatchStream|SyncIngest)' -benchmem -count="$count" \
     . | tee -a "$tmp2" >&2
 
-# Parse `BenchmarkName  N  t ns/op [x ns/event]  b B/op  a allocs/op`
-# lines, take the median ns/op run per benchmark, and emit JSON.
+# Parse `BenchmarkName  N  t ns/op [x ns/event|x events/op]  b B/op
+# a allocs/op` lines, take the median ns/op run per benchmark, and
+# emit JSON. Benchmarks that report events/op instead of ns/event
+# (the engine end-to-end family) get ns_per_event derived as
+# ns/op ÷ events/op.
 render_json='
 /^Benchmark/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    ns = be = bop = aop = "null"
+    ns = be = bop = aop = ev = "null"
     for (i = 2; i < NF; i++) {
         if ($(i+1) == "ns/op")     ns  = $i
         if ($(i+1) == "ns/event")  be  = $i
+        if ($(i+1) == "events/op") ev  = $i
         if ($(i+1) == "B/op")      bop = $i
         if ($(i+1) == "allocs/op") aop = $i
     }
     if (ns == "null") next
+    if (be == "null" && ev != "null" && ev + 0 > 0) be = ns / ev
     n = ++runs[name]
     nsv[name, n] = ns; bev[name, n] = be
     bopv[name, n] = bop; aopv[name, n] = aop

@@ -50,9 +50,18 @@ check_zero_allocs() {
     fi
 }
 echo "== bench guard (0 allocs/op hot paths)"
+check_zero_allocs 'BenchmarkPatternTwoStepJoin$' ./internal/algebra/
 check_zero_allocs 'BenchmarkPatternExtensionHeavy$' ./internal/algebra/
 check_zero_allocs 'BenchmarkPatternNegationHeavy$' ./internal/algebra/
 check_zero_allocs 'BenchmarkDistributor$' ./internal/runtime/
 check_zero_allocs 'BenchmarkIngestReader$' ./internal/event/
+
+# Kernel differential under the race detector, at higher counts than
+# the suite-wide pass: the shared-run automaton must stay emission-
+# identical to the preserved legacy kernel, including under the
+# pipelined multi-worker engine.
+echo "== go test -race (kernel differential focus)"
+go test -race -count=2 -run 'TestKernelDifferentialFuzz|TestPatternKernelEquivalence' ./internal/algebra/
+go test -race -count=2 -run 'TestPatternKernelsByteIdentical' .
 
 echo "== ci OK"
