@@ -1,6 +1,7 @@
 package caesar
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/caesar-cep/caesar/internal/experiments"
@@ -150,4 +151,44 @@ func BenchmarkEngineDispatchBound(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(events)), "events/op")
+}
+
+// BenchmarkEngineSharded is the sharded runtime's scaling series: the
+// dispatch-bound workload of BenchmarkEngineDispatchBound across
+// shard counts (shards=1 is the legacy distributor + worker-pool
+// pipeline). scripts/bench.sh renders this series into
+// BENCH_scaling.json; speedup over shards=1 is bounded by the
+// machine's core count — see EXPERIMENTS.md for measured numbers and
+// the hardware note.
+func BenchmarkEngineSharded(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			eng, err := NewFromSource(dispatchBenchModel, Config{
+				PartitionBy: LinearRoadPartitionBy(),
+				Shards:      shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			gen := LinearRoadDefaults()
+			gen.Segments = 20
+			gen.Duration = 1200
+			events, err := GenerateLinearRoad(gen, eng.Registry())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := eng.Run(NewSliceSource(events))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Events != uint64(len(events)) {
+					b.Fatal("events lost")
+				}
+			}
+			b.ReportMetric(float64(len(events)), "events/op")
+		})
+	}
 }

@@ -35,7 +35,8 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the context-independent baseline")
 	noPushdown := flag.Bool("no-pushdown", false, "disable context window push-down")
 	share := flag.Bool("share", false, "enable context workload sharing")
-	workers := flag.Int("workers", 4, "worker pool size")
+	workers := flag.Int("workers", 4, "worker pool size (legacy pipeline; ignored when -shards > 1)")
+	shards := flag.Int("shards", 1, "engine shards, each owning its partitions end to end (1 = classic pipeline, 0 = GOMAXPROCS)")
 	pacing := flag.Duration("pacing", 0, "wall time per application time unit (0 = as fast as possible)")
 	readAhead := flag.Int("read-ahead", 0, "ingest read-ahead ring depth in batches (0 = default)")
 	noPipeline := flag.Bool("no-pipeline", false, "disable the pipelined ingest path (decode inline with dispatch)")
@@ -66,21 +67,23 @@ func main() {
 	if *partitionBy != "" {
 		keys = strings.Split(*partitionBy, ",")
 	}
-	if *listen != "" {
-		serve(m, *listen, *admin, keys, *baseline, *noPushdown, *share, *workers, *pacing, *readAhead, *noPipeline)
-		return
-	}
-	out := event.NewWriter(os.Stdout)
-	cfg := core.Config{
+	engCfg := core.Config{
 		ContextIndependent: *baseline,
 		Sharing:            *share,
 		DisablePushDown:    *noPushdown,
 		PartitionBy:        keys,
 		Workers:            *workers,
+		Shards:             *shards,
 		Pacing:             *pacing,
 		ReadAhead:          *readAhead,
 		DisablePipeline:    *noPipeline,
 	}
+	if *listen != "" {
+		serve(m, *listen, *admin, engCfg)
+		return
+	}
+	out := event.NewWriter(os.Stdout)
+	cfg := engCfg
 	if *admin != "" {
 		reg := telemetry.NewRegistry()
 		cfg.Telemetry = reg
@@ -120,19 +123,10 @@ func main() {
 
 // serve runs the TCP session server (see internal/server): each
 // connection streams events in and derived events out.
-func serve(m *model.Model, addr, admin string, keys []string, baseline, noPushdown, share bool, workers int, pacing time.Duration, readAhead int, noPipeline bool) {
+func serve(m *model.Model, addr, admin string, engCfg core.Config) {
 	srv, err := server.New(server.Config{
-		Model: m,
-		Engine: core.Config{
-			ContextIndependent: baseline,
-			DisablePushDown:    noPushdown,
-			Sharing:            share,
-			PartitionBy:        keys,
-			Workers:            workers,
-			Pacing:             pacing,
-			ReadAhead:          readAhead,
-			DisablePipeline:    noPipeline,
-		},
+		Model:  m,
+		Engine: engCfg,
 	})
 	if err != nil {
 		fail(err)

@@ -3,6 +3,7 @@ package caesar
 import (
 	"bytes"
 	"reflect"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -125,7 +126,14 @@ func TestIngestPathsByteIdentical(t *testing.T) {
 	if stSync.Batches != 0 {
 		t.Errorf("synchronous run reported %d batches", stSync.Batches)
 	}
-	if stWire.ReclaimedChunks == 0 {
+	// Mid-run reclamation needs worker progress concurrent with decode:
+	// the watermark follows the workers' completed marks, and on a
+	// single P the buffered hand-off legitimately defers execution
+	// until decode quiesces, so reclaim activity is only a meaningful
+	// assertion with ≥2 scheduler threads (the correctness of the
+	// reclaim bound itself is covered by the byte-identical diff above
+	// and the arena unit tests).
+	if runtime.GOMAXPROCS(0) > 1 && stWire.ReclaimedChunks == 0 {
 		t.Error("wire ingest never reclaimed an arena slab")
 	}
 }

@@ -157,14 +157,17 @@ func (a *kernelArena) putPending(pm *pendingMatch) {
 
 // getBucket returns an empty negation-index bucket. A recycled bucket
 // keeps its event slice capacity, so a key that cycles between live
-// and empty stops allocating once the free list warms.
+// and empty stops allocating once the free list warms. Fresh buckets
+// start with room for a few events: the append-growth chain
+// (1→2→4→8) otherwise dominates the allocation profile of
+// negation-heavy workloads, where every join key mints a bucket.
 func (a *kernelArena) getBucket() *negBucket {
 	if n := len(a.bucketFree); n > 0 {
 		b := a.bucketFree[n-1]
 		a.bucketFree = a.bucketFree[:n-1]
 		return b
 	}
-	return &negBucket{}
+	return &negBucket{evs: make([]*event.Event, 0, 8)}
 }
 
 // putBucket retires a bucket, dropping its event references but

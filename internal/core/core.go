@@ -41,8 +41,17 @@ type Config struct {
 	DisablePushDown bool
 	// PartitionBy names the stream partition key attributes.
 	PartitionBy []string
-	// Workers is the worker pool size (default 4).
+	// Workers is the worker pool size (default 4). Ignored when the
+	// sharded runtime is active (Shards > 1): each shard embeds its
+	// own execution worker.
 	Workers int
+	// Shards selects the sharded multi-core runtime: N engine shards
+	// each own a disjoint set of stream partitions end to end and
+	// execute on their own goroutine, fed through lock-free SPSC
+	// rings (see runtime.Config.Shards). 0 defaults to GOMAXPROCS
+	// unless Workers is set explicitly; 1 selects the classic
+	// distributor + worker-pool pipeline.
+	Shards int
 	// Pacing > 0 replays the stream in scaled real time: one
 	// application time unit takes Pacing of wall time.
 	Pacing time.Duration
@@ -110,6 +119,7 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		Fusion:          cfg.FusePatterns,
 		PartitionBy:     cfg.PartitionBy,
 		Workers:         cfg.Workers,
+		Shards:          cfg.Shards,
 		Pacing:          cfg.Pacing,
 		ReadAhead:       cfg.ReadAhead,
 		DisablePipeline: cfg.DisablePipeline,

@@ -86,18 +86,88 @@ type schemaKeyPlan struct {
 	none bool
 }
 
+// keyer renders partition keys into a reusable byte scratch. It is
+// the schema-plan half of the event distributor, shared between the
+// legacy distributor (which also interns partitions) and the sharded
+// router (which only hashes the key to pick a shard).
+type keyer struct {
+	partBy []string
+	plans  map[*event.Schema]*schemaKeyPlan
+	keyBuf []byte
+}
+
+func newKeyer(partBy []string) keyer {
+	return keyer{partBy: partBy, plans: make(map[*event.Schema]*schemaKeyPlan)}
+}
+
+func (k *keyer) plan(s *event.Schema) *schemaKeyPlan {
+	if p, ok := k.plans[s]; ok {
+		return p
+	}
+	p := &schemaKeyPlan{idx: make([]int, len(k.partBy)), none: true}
+	for i, attr := range k.partBy {
+		p.idx[i] = s.FieldIndex(attr)
+		if p.idx[i] >= 0 {
+			p.none = false
+		}
+	}
+	k.plans[s] = p
+	return p
+}
+
+// render materializes the event's partition key into the reused
+// scratch and returns it, or nil for events carrying no key attribute
+// (the control partition). The returned slice is valid until the next
+// render call.
+func (k *keyer) render(ev *event.Event) []byte {
+	kp := k.plan(ev.Schema)
+	if kp.none {
+		return nil
+	}
+	b := k.keyBuf[:0]
+	for _, i := range kp.idx {
+		if i >= 0 {
+			b = ev.At(i).Append(b)
+		}
+		b = append(b, '|')
+	}
+	k.keyBuf = b
+	return b
+}
+
+// pickIdx maps a key hash onto n execution units. When n is a power
+// of two the modulo reduces to a bitmask (x % 2^k == x & (2^k-1) for
+// unsigned x), so the assignment is bit-identical to the modulo form
+// — only cheaper. Note that assignment is a pure function of (hash,
+// n): resizing the worker or shard count reassigns almost every
+// partition, so n must stay fixed for the lifetime of a run (it does:
+// both pools are sized at Run start and never resized).
+func pickIdx(h uint32, n int, mask uint32) uint32 {
+	if mask != 0 {
+		return h & mask
+	}
+	return h % uint32(n)
+}
+
+// powerOfTwoMask returns n-1 when n is a power of two, else 0.
+func powerOfTwoMask(n int) uint32 {
+	if n > 0 && n&(n-1) == 0 {
+		return uint32(n - 1)
+	}
+	return 0
+}
+
 // distributor implements the paper's event distributor (§6, Fig. 8)
 // as a zero-allocation hot path: partition keys are rendered into a
 // reusable byte scratch, interned in a persistent partition table,
 // and each tick's transactions reach the workers as one batched
 // message per worker.
 type distributor struct {
+	keyer
 	workers []*worker
-	partBy  []string
+	wmask   uint32 // len(workers)-1 when a power of two, else 0
 
 	table   map[string]*partition
-	plans   map[*event.Schema]*schemaKeyPlan
-	keyBuf  []byte
 	active  []*partition // partitions hit this tick, in first-seen order
 	pending []*txnBuf    // per-worker transaction batch, parallel to workers
 	control *partition   // lazily interned control partition
@@ -109,27 +179,12 @@ type distributor struct {
 
 func newDistributor(workers []*worker, partBy []string) *distributor {
 	return &distributor{
+		keyer:   newKeyer(partBy),
 		workers: workers,
-		partBy:  partBy,
+		wmask:   powerOfTwoMask(len(workers)),
 		table:   make(map[string]*partition),
-		plans:   make(map[*event.Schema]*schemaKeyPlan),
 		pending: make([]*txnBuf, len(workers)),
 	}
-}
-
-func (d *distributor) plan(s *event.Schema) *schemaKeyPlan {
-	if p, ok := d.plans[s]; ok {
-		return p
-	}
-	p := &schemaKeyPlan{idx: make([]int, len(d.partBy)), none: true}
-	for i, attr := range d.partBy {
-		p.idx[i] = s.FieldIndex(attr)
-		if p.idx[i] >= 0 {
-			p.none = false
-		}
-	}
-	d.plans[s] = p
-	return p
 }
 
 // partitionOf interns the event's partition and returns its table
@@ -138,18 +193,10 @@ func (d *distributor) plan(s *event.Schema) *schemaKeyPlan {
 // found via the allocation-free map[string] byte-slice probe; the
 // key string is materialized once, when the partition is first seen.
 func (d *distributor) partitionOf(ev *event.Event) *partition {
-	kp := d.plan(ev.Schema)
-	if kp.none {
+	b := d.render(ev)
+	if b == nil {
 		return d.controlPartition()
 	}
-	b := d.keyBuf[:0]
-	for _, i := range kp.idx {
-		if i >= 0 {
-			b = ev.At(i).Append(b)
-		}
-		b = append(b, '|')
-	}
-	d.keyBuf = b
 	if p, ok := d.table[string(b)]; ok {
 		return p
 	}
@@ -167,7 +214,7 @@ func (d *distributor) controlPartition() *partition {
 func (d *distributor) intern(key string) *partition {
 	p := &partition{
 		key:    key,
-		worker: d.workers[fnv1a(key)%uint32(len(d.workers))],
+		worker: d.workers[pickIdx(fnv1a(key), len(d.workers), d.wmask)],
 	}
 	d.table[key] = p
 	if d.rm != nil {

@@ -26,6 +26,7 @@ package runtime
 
 import (
 	"fmt"
+	gort "runtime"
 	"sort"
 	"time"
 
@@ -75,8 +76,19 @@ type Config struct {
 	// fall into every partition's input? No — they land in partition
 	// "·", a dedicated control partition.
 	PartitionBy []string
-	// Workers is the worker pool size; 0 means 4.
+	// Workers is the worker pool size of the legacy single-router
+	// pipeline; 0 means 4. Ignored when the sharded runtime runs
+	// (Shards > 1): shards are the execution units then.
 	Workers int
+	// Shards selects the sharded multi-core runtime (DESIGN.md §3.6):
+	// N independent engine shards, each owning a disjoint set of
+	// stream partitions end to end, fed through lock-free SPSC rings.
+	// Shards == 1 preserves the legacy pipeline (distributor + worker
+	// pool) byte-for-byte. Shards == 0 defaults to GOMAXPROCS when
+	// Workers is also unset; an explicitly configured Workers keeps
+	// the legacy pool for compatibility. Requires the pipelined
+	// ingest path (incompatible with DisablePipeline) when > 1.
+	Shards int
 	// Pacing, when positive, replays the stream in real time: one
 	// application time unit lasts Pacing of wall time. Zero feeds the
 	// stream as fast as possible, so maximal latency measures CPU
@@ -93,7 +105,11 @@ type Config struct {
 	// CollectOutputs retains all derived events in Stats.Outputs.
 	CollectOutputs bool
 	// OnOutput, when set, is invoked for every derived output event.
-	// It is called concurrently from worker goroutines.
+	// On the legacy pipeline it is called concurrently from worker
+	// goroutines; on the sharded runtime (Shards > 1) it is called
+	// from a single merger goroutine in deterministic order — sorted
+	// by derivation tick, then shard, then emission order (the
+	// ordered merge layer, DESIGN.md §3.6).
 	OnOutput func(*event.Event)
 	// Telemetry, when set, registers the run's live metrics with the
 	// registry: per-worker transaction counters and latency
@@ -172,6 +188,9 @@ type Engine struct {
 	cfg    Config
 	groups []groupSpec
 	m      *model.Model
+	// nShards is the resolved shard count (see Config.Shards); > 1
+	// routes batch runs onto the sharded runtime.
+	nShards int
 	// queryNames labels the per-query metric families; indexed by
 	// execUnit.qmIdx (one slot per distinct query across groups).
 	queryNames []string
@@ -207,6 +226,22 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("runtime: negative worker count")
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("runtime: negative shard count")
+	}
+	nShards := cfg.Shards
+	if nShards == 0 {
+		if cfg.Workers != 0 {
+			// An explicitly sized worker pool keeps the legacy
+			// pipeline: existing configurations behave identically.
+			nShards = 1
+		} else {
+			nShards = gort.GOMAXPROCS(0)
+		}
+	}
+	if nShards > 1 && cfg.DisablePipeline {
+		return nil, fmt.Errorf("runtime: the sharded runtime (Shards=%d) requires the pipelined ingest path", nShards)
+	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
@@ -216,7 +251,7 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Mode == ContextIndependent && (cfg.Sharing || cfg.Fusion) {
 		return nil, fmt.Errorf("runtime: workload sharing and fusion apply to context-aware mode only")
 	}
-	e := &Engine{cfg: cfg, m: cfg.Plan.Model}
+	e := &Engine{cfg: cfg, m: cfg.Plan.Model, nShards: nShards}
 	var err error
 	e.groups, err = buildGroups(cfg)
 	if err != nil {

@@ -172,26 +172,14 @@ func (r *run) finish(src any, runErr error) (*Stats, error) {
 	return r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start)), nil
 }
 
-// RunBatches executes the engine over a batch source with decode
-// overlapped behind the read-ahead ring. Most callers use Run, which
-// routes batch-capable sources here.
-func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
-	if e.cfg.DisablePipeline {
-		return e.runSync(event.PerEvent(src))
-	}
-	n := e.cfg.ReadAhead
-	if n <= 0 {
-		n = defaultReadAhead
-	}
-	ring := newBatchRing(n)
-	r := e.newRun(func() int64 { return int64(len(ring.data)) })
-	rec, _ := src.(event.Reclaimer)
-	slack := e.reclaimSlack()
-
-	var decodeWG sync.WaitGroup
-	decodeWG.Add(1)
+// startDecode launches the decode goroutine: it fills recycled batch
+// structs from src behind the read-ahead ring, reclaiming the
+// source's event arena below the published watermark before each
+// batch. Shared by the legacy and sharded pipelines.
+func startDecode(ring *batchRing, src event.BatchSource, rec event.Reclaimer, watermark *atomic.Int64, rm *runMetrics, wg *sync.WaitGroup) {
+	wg.Add(1)
 	go func() {
-		defer decodeWG.Done()
+		defer wg.Done()
 		defer close(ring.data)
 		for {
 			b, ok := ring.acquire()
@@ -199,9 +187,9 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 				return
 			}
 			if rec != nil {
-				if wm := r.watermark.Load(); wm > math.MinInt64 {
+				if wm := watermark.Load(); wm > math.MinInt64 {
 					if freed := rec.ReclaimBefore(event.Time(wm)); freed > 0 {
-						r.rm.reclaims.Add(uint64(freed))
+						rm.reclaims.Add(uint64(freed))
 					}
 				}
 			}
@@ -214,6 +202,31 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 			}
 		}
 	}()
+}
+
+// RunBatches executes the engine over a batch source with decode
+// overlapped behind the read-ahead ring. Most callers use Run, which
+// routes batch-capable sources here. With Shards > 1 the run executes
+// on the sharded runtime (shard.go); otherwise on the legacy
+// distributor + worker pool.
+func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
+	if e.cfg.DisablePipeline {
+		return e.runSync(event.PerEvent(src))
+	}
+	if e.nShards > 1 {
+		return e.runSharded(src)
+	}
+	n := e.cfg.ReadAhead
+	if n <= 0 {
+		n = defaultReadAhead
+	}
+	ring := newBatchRing(n)
+	r := e.newRun(func() int64 { return int64(len(ring.data)) })
+	rec, _ := src.(event.Reclaimer)
+	slack := e.reclaimSlack()
+
+	var decodeWG sync.WaitGroup
+	startDecode(ring, src, rec, &r.watermark, r.rm, &decodeWG)
 
 	var runErr error
 	for b := range ring.data {

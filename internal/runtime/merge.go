@@ -1,0 +1,169 @@
+// Ordered output merge layer for the sharded runtime (DESIGN.md
+// §3.6). Shards derive events concurrently; when the run has a
+// streaming consumer (Config.OnOutput), this thin layer restores a
+// deterministic cross-shard order: derived events are delivered
+// sorted by (derivation tick, shard id, per-shard emission order),
+// from a single merger goroutine.
+//
+// Release rule: a tick t may be released once every live shard has
+// completed t, because a shard pushes all of tick t's output runs
+// before publishing completed ≥ t, and the merger always snapshots
+// completion marks BEFORE draining the output rings — so by the time
+// it sees min(completed) ≥ t, every run of tick t is already in its
+// pending queues. Release timing therefore never affects the output
+// order, only its batching.
+package runtime
+
+import (
+	"math"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// outRun is one shard's derived events for one tick, in emission
+// order.
+type outRun struct {
+	ts  event.Time
+	evs []*event.Event
+}
+
+// mergeRingDepth bounds how many unreleased ticks' runs a shard may
+// buffer before it backpressures (blocks in flushTick).
+const mergeRingDepth = 64
+
+type outputMerger struct {
+	shards []*engineShard
+	out    func(*event.Event)
+
+	rings []*spscRing[outRun]         // shard → merger
+	free  []*spscRing[[]*event.Event] // merger → shard (slice recycling)
+
+	pending [][]outRun // per shard, in push (= tick) order
+	heads   []int      // consumed prefix of pending[i]
+
+	wakeCh chan struct{} // nudged by shards after each grant / at exit
+	doneCh chan struct{} // closed when the merger has drained everything
+}
+
+func newOutputMerger(shards []*engineShard, out func(*event.Event)) *outputMerger {
+	m := &outputMerger{
+		shards:  shards,
+		out:     out,
+		rings:   make([]*spscRing[outRun], len(shards)),
+		free:    make([]*spscRing[[]*event.Event], len(shards)),
+		pending: make([][]outRun, len(shards)),
+		heads:   make([]int, len(shards)),
+		wakeCh:  make(chan struct{}, 1),
+		doneCh:  make(chan struct{}),
+	}
+	for i := range shards {
+		m.rings[i] = newSpscRing[outRun](mergeRingDepth)
+		m.free[i] = newSpscRing[[]*event.Event](mergeRingDepth)
+	}
+	return m
+}
+
+// flushTick moves the shard worker's buffered emissions for tick ts
+// into the merge ring. Called by the shard goroutine after each tick.
+func (m *outputMerger) flushTick(s *engineShard, ts event.Time) {
+	evs := s.w.mergeSink
+	if len(evs) == 0 {
+		return
+	}
+	m.rings[s.id].push(outRun{ts: ts, evs: evs})
+	// Wake after every push, not just per message: a single grant can
+	// carry more ticks than the ring holds, and the merger must drain
+	// (into its pending queues) for the next push to unblock.
+	m.wake()
+	if next, ok := m.free[s.id].tryPop(); ok {
+		s.w.mergeSink = next
+	} else {
+		s.w.mergeSink = nil // next emit allocates a fresh run
+	}
+}
+
+// wake nudges the merger; safe from any shard (non-blocking send to a
+// one-token channel: a pending token already guarantees a new pass).
+func (m *outputMerger) wake() {
+	select {
+	case m.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// waitDone blocks until the merger has released every run.
+func (m *outputMerger) waitDone() { <-m.doneCh }
+
+func (m *outputMerger) loop() {
+	defer close(m.doneCh)
+	for {
+		// Snapshot progress FIRST (see the release rule above), then
+		// drain, then release.
+		safe := int64(math.MaxInt64)
+		alive := false
+		for _, s := range m.shards {
+			if s.done.Load() {
+				continue
+			}
+			alive = true
+			if c := s.completed.Load(); c < safe {
+				safe = c
+			}
+		}
+		for i, r := range m.rings {
+			for {
+				run, ok := r.tryPop()
+				if !ok {
+					break
+				}
+				m.pending[i] = append(m.pending[i], run)
+			}
+		}
+		m.release(safe)
+		if !alive {
+			// All shards exited before the snapshot; everything they
+			// ever pushed was drained above and released (safe is
+			// MaxInt64 with no live shards). Done.
+			return
+		}
+		<-m.wakeCh
+	}
+}
+
+// release emits every pending run with ts ≤ safe, globally ordered by
+// (tick, shard id); within a run, emission order is preserved.
+func (m *outputMerger) release(safe int64) {
+	for {
+		best := -1
+		var bestTS event.Time
+		for i := range m.pending {
+			if m.heads[i] >= len(m.pending[i]) {
+				continue
+			}
+			ts := m.pending[i][m.heads[i]].ts
+			if int64(ts) > safe {
+				continue
+			}
+			if best < 0 || ts < bestTS {
+				best, bestTS = i, ts
+			}
+		}
+		if best < 0 {
+			return
+		}
+		run := m.pending[best][m.heads[best]]
+		m.pending[best][m.heads[best]] = outRun{}
+		m.heads[best]++
+		if m.heads[best] == len(m.pending[best]) {
+			m.pending[best] = m.pending[best][:0]
+			m.heads[best] = 0
+		}
+		for _, ev := range run.evs {
+			m.out(ev)
+		}
+		// Hand the consumed slice back to the shard for reuse; if its
+		// free ring is momentarily full the slice is simply dropped
+		// for GC (output batches allocate anyway).
+		m.free[best].tryPush(run.evs[:0])
+	}
+}

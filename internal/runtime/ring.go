@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	gort "runtime"
+	"sync/atomic"
+	"time"
+)
+
+// spscRing is a bounded lock-free single-producer single-consumer
+// ring. It is the hand-off primitive of the sharded runtime
+// (DESIGN.md §3.6): the router pushes per-shard event messages, each
+// shard pops them, and a mirror-image ring flows consumed messages
+// back for reuse — so the steady state moves data between pipeline
+// stages with two atomic stores per message and no locks, channels or
+// allocations.
+//
+// Synchronization: the producer publishes with a release store of
+// tail after writing the slot; the consumer observes it with an
+// acquire load, reads the slot, and releases it with a store of head.
+// head and tail are each written by exactly one goroutine. Both sides
+// fall back to parking on a one-token wake channel after a brief
+// yield phase, so an idle stage costs nothing and a stalled stage
+// (ring empty or full) does not spin a core away from the stage it is
+// waiting on — which matters when GOMAXPROCS < 2·shards.
+type spscRing[T any] struct {
+	buf  []T
+	mask uint64
+
+	_    [64]byte // keep producer and consumer indices on separate lines
+	tail atomic.Uint64
+	_    [64]byte
+	head atomic.Uint64
+	_    [64]byte
+
+	// closed is set by the producer; the consumer drains and exits.
+	closed atomic.Bool
+
+	// Parking state: a side that finds the ring unusable sets its
+	// wait flag, rechecks, then blocks on its wake channel; the
+	// opposite side hands over one token after every state change
+	// that could unblock it. Channels hold at most one token, so a
+	// stale token only causes one spurious recheck.
+	prodWait atomic.Bool
+	consWait atomic.Bool
+	prodWake chan struct{}
+	consWake chan struct{}
+
+	// Stall telemetry: nanoseconds each side spent parked. Each
+	// counter has a single writer.
+	prodStallNs atomic.Int64
+	consStallNs atomic.Int64
+}
+
+// ringYields is how many scheduler yields a stalled side performs
+// before parking. Yields keep latency low when the peer is runnable
+// (including on a single hardware thread, where yielding hands the
+// core straight to the peer); parking bounds the cost when it is not.
+const ringYields = 4
+
+func newSpscRing[T any](capacity int) *spscRing[T] {
+	if capacity <= 0 || capacity&(capacity-1) != 0 {
+		panic("runtime: spscRing capacity must be a power of two")
+	}
+	return &spscRing[T]{
+		buf:      make([]T, capacity),
+		mask:     uint64(capacity - 1),
+		prodWake: make(chan struct{}, 1),
+		consWake: make(chan struct{}, 1),
+	}
+}
+
+// push enqueues v, blocking while the ring is full. It reports false
+// only if the ring was closed (push after close is a bug; the false
+// return keeps a racing close from deadlocking the producer).
+func (r *spscRing[T]) push(v T) bool {
+	t := r.tail.Load()
+	for spins := 0; ; {
+		if t-r.head.Load() < uint64(len(r.buf)) {
+			r.buf[t&r.mask] = v
+			r.tail.Store(t + 1)
+			if r.consWait.CompareAndSwap(true, false) {
+				select {
+				case r.consWake <- struct{}{}:
+				default:
+				}
+			}
+			return true
+		}
+		if r.closed.Load() {
+			return false
+		}
+		if spins < ringYields {
+			spins++
+			gort.Gosched()
+			continue
+		}
+		r.prodWait.Store(true)
+		if t-r.head.Load() < uint64(len(r.buf)) || r.closed.Load() {
+			r.prodWait.Store(false)
+			continue
+		}
+		start := time.Now()
+		<-r.prodWake
+		r.prodStallNs.Add(time.Since(start).Nanoseconds())
+		spins = 0
+	}
+}
+
+// pop dequeues the next value, blocking while the ring is empty. It
+// reports false once the ring is closed and fully drained.
+func (r *spscRing[T]) pop() (T, bool) {
+	var zero T
+	h := r.head.Load()
+	for spins := 0; ; {
+		if r.tail.Load() > h {
+			v := r.buf[h&r.mask]
+			r.buf[h&r.mask] = zero // release the reference for GC
+			r.head.Store(h + 1)
+			if r.prodWait.CompareAndSwap(true, false) {
+				select {
+				case r.prodWake <- struct{}{}:
+				default:
+				}
+			}
+			return v, true
+		}
+		// Re-read tail after observing closed: a close racing the
+		// last push must not drop the pushed value.
+		if r.closed.Load() && r.tail.Load() == h {
+			return zero, false
+		}
+		if spins < ringYields {
+			spins++
+			gort.Gosched()
+			continue
+		}
+		r.consWait.Store(true)
+		if r.tail.Load() > h || (r.closed.Load() && r.tail.Load() == h) {
+			r.consWait.Store(false)
+			continue
+		}
+		start := time.Now()
+		<-r.consWake
+		r.consStallNs.Add(time.Since(start).Nanoseconds())
+		spins = 0
+	}
+}
+
+// tryPush enqueues without blocking; ok is false when the ring is
+// momentarily full.
+func (r *spscRing[T]) tryPush(v T) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() >= uint64(len(r.buf)) {
+		return false
+	}
+	r.buf[t&r.mask] = v
+	r.tail.Store(t + 1)
+	if r.consWait.CompareAndSwap(true, false) {
+		select {
+		case r.consWake <- struct{}{}:
+		default:
+		}
+	}
+	return true
+}
+
+// tryPop dequeues without blocking; ok is false when the ring is
+// momentarily empty (drained tells a closed ring's final state).
+func (r *spscRing[T]) tryPop() (v T, ok bool) {
+	h := r.head.Load()
+	if r.tail.Load() == h {
+		return v, false
+	}
+	v = r.buf[h&r.mask]
+	var zero T
+	r.buf[h&r.mask] = zero
+	r.head.Store(h + 1)
+	if r.prodWait.CompareAndSwap(true, false) {
+		select {
+		case r.prodWake <- struct{}{}:
+		default:
+		}
+	}
+	return v, true
+}
+
+// close marks the stream complete (producer side) and wakes a parked
+// consumer so it can drain and exit.
+func (r *spscRing[T]) close() {
+	r.closed.Store(true)
+	r.consWait.Store(false)
+	select {
+	case r.consWake <- struct{}{}:
+	default:
+	}
+	// A producer parked in push (possible when close is called by a
+	// third party on teardown) is released the same way.
+	r.prodWait.Store(false)
+	select {
+	case r.prodWake <- struct{}{}:
+	default:
+	}
+}
+
+// occupancy reports how many values sit in the ring right now; it is
+// safe to call from any goroutine (scrape-time gauge).
+func (r *spscRing[T]) occupancy() int64 {
+	return int64(r.tail.Load() - r.head.Load())
+}
+
+// stallNs reports the cumulative parked time of both sides.
+func (r *spscRing[T]) stallNs() (producer, consumer int64) {
+	return r.prodStallNs.Load(), r.consStallNs.Load()
+}

@@ -1,0 +1,450 @@
+// Sharded multi-core runtime (DESIGN.md §3.6): N independent engine
+// shards, each owning a disjoint set of stream partitions end to end.
+// The legacy pipeline funnels every tick through one distributor that
+// hands per-tick transaction messages to a worker pool over channels;
+// here the hot path is restructured so the per-tick cross-goroutine
+// hand-off disappears from the steady state:
+//
+//	decode ──batchRing──▶ router ──spscRing──▶ shard 0 (route+execute)
+//	                        │      (per batch) ├─ shard 1
+//	                        │                  ├─ ...
+//	                        └──────────────────▶ shard N-1
+//	                                               │ (optional)
+//	                              OnOutput ◀─ merge layer (ordered)
+//
+// The router only renders each event's partition key and hashes it to
+// pick the owning shard — one FNV-1a over a reused scratch, no map
+// probe, no interning. Events accumulate in per-shard messages that
+// are flushed once per ingest batch (once per tick under paced
+// replay), so shards receive work in batch-sized grants through
+// bounded lock-free SPSC rings, with consumed messages cycling back
+// on mirror rings for an allocation-free steady state. Each shard
+// interns partitions in its own table, forms the per-tick stream
+// transactions locally, and executes them on its own goroutine —
+// §6.2's scheduler correctness (per-partition FIFO in timestamp
+// order) holds because a partition's events always land in the same
+// shard, in the order the router saw them.
+package runtime
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// shardRingDepth is the capacity, in messages, of each router→shard
+// ring (and its mirror free ring): enough grants for the router to
+// run a few batches ahead, small enough that backpressure reaches the
+// decode stage quickly. Must be a power of two.
+const shardRingDepth = 8
+
+// shardMsg is one router→shard grant: the shard's slice of one or
+// more ingest batches, in non-decreasing timestamp order, never
+// splitting a tick (batches are tick-aligned and messages are cut on
+// batch boundaries). Messages cycle router→shard→free ring→router,
+// so the steady state allocates nothing.
+type shardMsg struct {
+	evs []*event.Event
+}
+
+// engineShard is one partition-owning execution unit: a shard-local
+// keyer and partition table (route), and a worker providing the
+// execution state and metrics slot (execute). Everything behind the
+// ring is confined to the shard goroutine.
+type engineShard struct {
+	id int
+	w  *worker
+	keyer
+	table   map[string]*partition
+	control *partition
+	active  []*partition // partitions hit this tick, first-seen order
+
+	in   *spscRing[*shardMsg] // router → shard
+	free *spscRing[*shardMsg] // shard → router (recycling)
+
+	// parts mirrors len(table) for scrape-time gauges (table itself
+	// is shard-confined).
+	parts atomic.Int64
+
+	// completed publishes the last fully executed tick; the router
+	// reads it for watermark reclamation, the merge layer for release
+	// decisions. MinInt64 = nothing completed yet.
+	completed atomic.Int64
+	// done is set when the shard goroutine exits (after its last
+	// completed store and output push).
+	done atomic.Bool
+	// sentTS is the last timestamp routed to this shard; owned by the
+	// router goroutine (see publishWatermark).
+	sentTS int64
+
+	rm  *runMetrics
+	mrg *outputMerger // nil when no ordered output merge is needed
+}
+
+func newEngineShard(e *Engine, id int, rm *runMetrics) *engineShard {
+	s := &engineShard{
+		id:     id,
+		w:      newShardWorker(e, id, rm),
+		keyer:  newKeyer(e.cfg.PartitionBy),
+		table:  make(map[string]*partition),
+		in:     newSpscRing[*shardMsg](shardRingDepth),
+		free:   newSpscRing[*shardMsg](shardRingDepth),
+		sentTS: math.MinInt64,
+		rm:     rm,
+	}
+	s.w.shard = s
+	s.completed.Store(math.MinInt64)
+	for i := 0; i < shardRingDepth; i++ {
+		s.free.push(&shardMsg{})
+	}
+	return s
+}
+
+// partitionOf interns the event's partition in the shard-local table.
+// Same zero-allocation contract as the distributor's: scratch-
+// rendered key, byte-slice map probe, key materialized once.
+func (s *engineShard) partitionOf(ev *event.Event) *partition {
+	b := s.render(ev)
+	if b == nil {
+		if s.control == nil {
+			s.control = s.intern(controlKey)
+		}
+		return s.control
+	}
+	if p, ok := s.table[string(b)]; ok {
+		return p
+	}
+	return s.intern(string(b))
+}
+
+func (s *engineShard) intern(key string) *partition {
+	p := &partition{key: key}
+	s.table[key] = p
+	s.parts.Add(1)
+	s.rm.partitions.Add(1)
+	return p
+}
+
+// loop is the shard goroutine: pop a grant, split it into ticks (runs
+// of equal occurrence end time), execute each tick's transactions,
+// publish progress, recycle the message.
+func (s *engineShard) loop() {
+	for {
+		msg, ok := s.in.pop()
+		if !ok {
+			break
+		}
+		evs := msg.evs
+		for i := 0; i < len(evs); {
+			ts := evs[i].End()
+			j := i + 1
+			for j < len(evs) && evs[j].End() == ts {
+				j++
+			}
+			s.execTick(ts, evs[i:j])
+			s.completed.Store(int64(ts))
+			i = j
+		}
+		msg.evs = msg.evs[:0]
+		s.free.push(msg)
+		if s.mrg != nil {
+			s.mrg.wake()
+		}
+	}
+	s.done.Store(true)
+	if s.mrg != nil {
+		s.mrg.wake()
+	}
+}
+
+// execTick forms and executes one tick's stream transactions: group
+// the tick's events by partition (first-seen order, exactly like the
+// distributor) and run each partition's transaction on this shard's
+// execution state.
+func (s *engineShard) execTick(ts event.Time, evs []*event.Event) {
+	w := s.w
+	for _, ev := range evs {
+		p := s.partitionOf(ev)
+		if p.batch == nil {
+			p.batch = w.getEventBuf()
+			s.active = append(s.active, p)
+		}
+		p.batch.evs = append(p.batch.evs, ev)
+	}
+	w.wallNow = 0
+	for _, p := range s.active {
+		ps := p.state
+		if ps == nil {
+			ps = w.newPartition(p.key)
+			p.state = ps
+		}
+		w.wm.txns.Inc()
+		if w.timed {
+			w.execsInTxn = 0
+			start := time.Now()
+			ps.exec(w, ts, p.batch.evs)
+			d := time.Since(start)
+			w.wm.txnLatency.ObserveDuration(d)
+			w.rm.tracer.Record(d, p.key, int64(ts), w.execsInTxn, len(p.batch.evs))
+		} else {
+			ps.exec(w, ts, p.batch.evs)
+		}
+		w.putEventBuf(p.batch)
+		p.batch = nil
+	}
+	s.active = s.active[:0]
+	if s.mrg != nil {
+		s.mrg.flushTick(s, ts)
+	}
+}
+
+// shardedRun is one sharded execution: the router-side state (keyer,
+// ordering, pacing, pending grants) plus the shard pool and optional
+// output merger.
+type shardedRun struct {
+	e      *Engine
+	rm     *runMetrics
+	shards []*engineShard
+	wg     sync.WaitGroup
+	mrg    *outputMerger
+
+	keyer
+	smask     uint32
+	ctrlShard uint32
+	pending   []*shardMsg // per-shard grant being filled
+
+	start       time.Time
+	appStart    event.Time
+	appStartSet bool
+	lastTS      event.Time
+	haveLast    bool
+
+	// watermark is the published reclamation bound, same protocol as
+	// the legacy pipeline's (ingest.go).
+	watermark atomic.Int64
+	slack     int64
+}
+
+// shardOf renders the event's partition key and hashes it onto the
+// shard pool. Assignment is a pure function of (key, shard count):
+// stable for the run, and identical to fnv1a(key) % shards (bitmask
+// when the count is a power of two — see pickIdx).
+func (r *shardedRun) shardOf(ev *event.Event) uint32 {
+	b := r.render(ev)
+	if b == nil {
+		return r.ctrlShard
+	}
+	return pickIdx(fnv1aBytes(b), len(r.shards), r.smask)
+}
+
+// routeBatch slices one decoded batch across the shards: ordering
+// checks and tick accounting happen here (single goroutine), each
+// event is appended to its owner shard's pending grant, and grants
+// flush once per batch — or once per tick under paced replay, so
+// real-time delivery granularity is preserved.
+func (r *shardedRun) routeBatch(b *event.Batch) error {
+	evs := b.Events
+	pacing := r.e.cfg.Pacing
+	for i := 0; i < len(evs); {
+		ts := evs[i].End()
+		if r.haveLast {
+			if ts < r.lastTS {
+				return fmt.Errorf("runtime: out-of-order event %v after t=%d", evs[i], r.lastTS)
+			}
+			if ts == r.lastTS && i == 0 {
+				return fmt.Errorf("runtime: batch source split tick t=%d across batches", ts)
+			}
+		}
+		j := i + 1
+		for j < len(evs) && evs[j].End() == ts {
+			j++
+		}
+		r.rm.events.Add(uint64(j - i))
+		r.rm.ticks.Inc()
+		if pacing > 0 {
+			if !r.appStartSet {
+				r.appStart, r.appStartSet = ts, true
+			}
+			target := r.start.Add(time.Duration(ts-r.appStart) * pacing)
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		arrival := time.Now().UnixNano()
+		for _, ev := range evs[i:j] {
+			ev.Arrival = arrival
+			si := r.shardOf(ev)
+			msg := r.pending[si]
+			if msg == nil {
+				msg = r.grant(si)
+				r.pending[si] = msg
+			}
+			msg.evs = append(msg.evs, ev)
+		}
+		if pacing > 0 {
+			r.flush()
+		}
+		r.lastTS, r.haveLast = ts, true
+		i = j
+	}
+	r.flush()
+	return nil
+}
+
+// grant pops a recycled message off the shard's free ring, blocking
+// when the shard is a full ring behind — the backpressure that keeps
+// at most shardRingDepth batches in flight per shard.
+func (r *shardedRun) grant(si uint32) *shardMsg {
+	msg, ok := r.shards[si].free.pop()
+	if !ok {
+		// The free ring is closed only on teardown; a fresh message
+		// keeps the router total even then.
+		return &shardMsg{}
+	}
+	return msg
+}
+
+// flush hands every non-empty pending grant to its shard.
+func (r *shardedRun) flush() {
+	for i, msg := range r.pending {
+		if msg == nil {
+			continue
+		}
+		s := r.shards[i]
+		s.sentTS = int64(msg.evs[len(msg.evs)-1].End())
+		s.in.push(msg)
+		r.pending[i] = nil
+	}
+}
+
+// publishWatermark advances the reclamation bound: the minimum over
+// the last routed tick and the completed mark of every shard that
+// still holds routed-but-unexecuted work (sentTS is router-owned, so
+// "holds work" is exact; a lagging completed read only makes the
+// bound conservative).
+func (r *shardedRun) publishWatermark() {
+	if !r.haveLast {
+		return
+	}
+	min := int64(r.lastTS)
+	for _, s := range r.shards {
+		if done := s.completed.Load(); s.sentTS > done && done < min {
+			min = done
+		}
+	}
+	if min == math.MinInt64 {
+		return
+	}
+	if wm := min - r.slack; wm > r.watermark.Load() {
+		r.watermark.Store(wm)
+	}
+}
+
+// runSharded executes the engine over a batch source on the sharded
+// runtime. Callers guarantee e.nShards > 1 and the pipelined path.
+func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
+	n := e.nShards
+	rm := newRunMetrics(e, n)
+	r := &shardedRun{
+		e:       e,
+		rm:      rm,
+		keyer:   newKeyer(e.cfg.PartitionBy),
+		smask:   powerOfTwoMask(n),
+		pending: make([]*shardMsg, n),
+		start:   time.Now(),
+		slack:   e.reclaimSlack(),
+	}
+	r.ctrlShard = pickIdx(fnv1a(controlKey), n, r.smask)
+	r.watermark.Store(math.MinInt64)
+
+	r.shards = make([]*engineShard, n)
+	workers := make([]*worker, n)
+	for i := 0; i < n; i++ {
+		r.shards[i] = newEngineShard(e, i, rm)
+		workers[i] = r.shards[i].w
+	}
+	if e.cfg.OnOutput != nil {
+		r.mrg = newOutputMerger(r.shards, e.cfg.OnOutput)
+		for _, s := range r.shards {
+			s.mrg = r.mrg
+			s.w.merged = true
+		}
+		go r.mrg.loop()
+	}
+	for _, s := range r.shards {
+		r.wg.Add(1)
+		go func(s *engineShard) {
+			defer r.wg.Done()
+			s.loop()
+		}(s)
+	}
+
+	ra := e.cfg.ReadAhead
+	if ra <= 0 {
+		ra = defaultReadAhead
+	}
+	ring := newBatchRing(ra)
+	rm.ringDepth = func() int64 { return int64(len(ring.data)) }
+	rm.register(e.cfg.Telemetry, e, workers)
+	registerShardMetrics(e.cfg.Telemetry, r.shards)
+
+	rec, _ := src.(event.Reclaimer)
+	var decodeWG sync.WaitGroup
+	startDecode(ring, src, rec, &r.watermark, rm, &decodeWG)
+
+	var runErr error
+	for b := range ring.data {
+		rm.batches.Inc()
+		if runErr = r.routeBatch(b); runErr != nil {
+			ring.abort()
+			break
+		}
+		ring.release(b)
+		if rec != nil {
+			r.publishWatermark()
+		}
+	}
+	for range ring.data { // drain after abort so the decoder unblocks
+	}
+	decodeWG.Wait()
+	for _, s := range r.shards {
+		s.in.close()
+	}
+	r.wg.Wait()
+	if r.mrg != nil {
+		r.mrg.waitDone()
+	}
+
+	if runErr != nil {
+		return nil, runErr
+	}
+	if es, ok := src.(interface{ Err() error }); ok {
+		if err := es.Err(); err != nil {
+			return nil, err
+		}
+	}
+	partitions := 0
+	for _, s := range r.shards {
+		partitions += len(s.table)
+	}
+	return e.collect(rm, workers, partitions, time.Since(r.start)), nil
+}
+
+// fnv1aBytes is fnv1a over a byte slice (no string conversion, no
+// allocation); same hash, same placement.
+func fnv1aBytes(key []byte) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h
+}

@@ -1,0 +1,47 @@
+package runtime
+
+import (
+	"testing"
+)
+
+// BenchmarkShardRouter measures the router's per-event serial work in
+// isolation: partition key rendering into the reused scratch plus the
+// FNV-1a hash and the bitmask shard pick. This is everything the
+// single-threaded stage of the sharded runtime does per event besides
+// one slice append, so it bounds the design's serial fraction. Must
+// report 0 allocs/op.
+func BenchmarkShardRouter(b *testing.B) {
+	r := &shardedRun{
+		keyer:  newKeyer([]string{"xway", "dir", "seg"}),
+		shards: make([]*engineShard, 4),
+		smask:  powerOfTwoMask(4),
+	}
+	ev := distEvent(1, 3, 1, 42, 7)
+	r.shardOf(ev) // warm the schema key plan
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var si uint32
+	for i := 0; i < b.N; i++ {
+		si = r.shardOf(ev)
+	}
+	if int(si) >= len(r.shards) {
+		b.Fatalf("bad shard %d", si)
+	}
+}
+
+// BenchmarkSpscRing measures the ring's steady-state hand-off cost:
+// one push + one pop per iteration with both sides hot (never full,
+// never empty past the yield phase). Must report 0 allocs/op.
+func BenchmarkSpscRing(b *testing.B) {
+	r := newSpscRing[*shardMsg](shardRingDepth)
+	msg := &shardMsg{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.push(msg)
+		if _, ok := r.pop(); !ok {
+			b.Fatal("ring closed")
+		}
+	}
+}

@@ -150,7 +150,7 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 		reg.Register("caesar_txn_latency_ns", "stream transaction execution time", &wm.txnLatency, lbl)
 		w := workers[i]
 		reg.Register("caesar_worker_queue_depth", "transactions queued at the worker",
-			telemetry.GaugeFunc(func() int64 { return int64(len(w.ch)) }), lbl)
+			telemetry.GaugeFunc(w.queueDepth), lbl)
 	}
 	for i := range rm.query {
 		lbl := telemetry.Label{Key: "query", Value: e.queryNames[i]}
@@ -169,5 +169,30 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 	if rm.tracer != nil {
 		reg.Register("caesar_txn_spans_total", "transaction spans recorded", &rm.tracer.Spans)
 		reg.Register("caesar_slow_txns_total", "transactions at or above the slow threshold", &rm.tracer.Slow)
+	}
+}
+
+// registerShardMetrics attaches the sharded runtime's per-shard view:
+// input ring occupancy, cumulative stall time on both ring sides,
+// owned partitions, and the last completed tick. Worker-level
+// execution metrics are covered by register above (each shard's
+// worker occupies one workerMetrics slot).
+func registerShardMetrics(reg *telemetry.Registry, shards []*engineShard) {
+	if reg == nil {
+		return
+	}
+	for _, s := range shards {
+		s := s
+		lbl := telemetry.Label{Key: "shard", Value: strconv.Itoa(s.id)}
+		reg.Register("caesar_shard_ring_occupancy", "grants queued in the router-to-shard ring",
+			telemetry.GaugeFunc(s.in.occupancy), lbl)
+		reg.Register("caesar_shard_router_stall_ns", "time the router spent blocked on a full shard ring",
+			telemetry.GaugeFunc(func() int64 { p, _ := s.in.stallNs(); return p }), lbl)
+		reg.Register("caesar_shard_stall_ns", "time the shard spent blocked on an empty ring",
+			telemetry.GaugeFunc(func() int64 { _, c := s.in.stallNs(); return c }), lbl)
+		reg.Register("caesar_shard_partitions", "stream partitions owned by the shard",
+			telemetry.GaugeFunc(s.parts.Load), lbl)
+		reg.Register("caesar_shard_completed_tick", "last application tick fully executed by the shard",
+			telemetry.GaugeFunc(s.completed.Load), lbl)
 	}
 }

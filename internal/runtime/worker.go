@@ -49,6 +49,15 @@ type worker struct {
 	// publishWatermark); the worker never touches it.
 	sentTS int64
 
+	// shard is set when this worker is the execution half of an
+	// engine shard (DESIGN.md §3.6); ch is nil then and transactions
+	// arrive inline via engineShard.execTick.
+	shard *engineShard
+	// merged redirects emit's OnOutput delivery into mergeSink, the
+	// per-tick run the shard flushes to the ordered merge layer.
+	merged    bool
+	mergeSink []*event.Event
+
 	collected []*event.Event
 }
 
@@ -64,6 +73,32 @@ func newWorker(e *Engine, id int, rm *runMetrics) *worker {
 	}
 	w.completed.Store(math.MinInt64)
 	return w
+}
+
+// newShardWorker builds a worker without a hand-off channel: the
+// owning engineShard drives it inline from its own goroutine.
+func newShardWorker(e *Engine, id int, rm *runMetrics) *worker {
+	return &worker{
+		eng:    e,
+		id:     id,
+		rm:     rm,
+		wm:     rm.workers[id],
+		timed:  rm.detail,
+		sentTS: math.MinInt64,
+	}
+}
+
+// queueDepth is the worker's backlog for the live queue-depth gauge:
+// queued transaction messages on the legacy pool, ring occupancy in
+// shard mode.
+func (w *worker) queueDepth() int64 {
+	if w.ch != nil {
+		return int64(len(w.ch))
+	}
+	if w.shard != nil {
+		return w.shard.in.occupancy()
+	}
+	return 0
 }
 
 func (w *worker) getEventBuf() *eventBuf {
@@ -334,7 +369,9 @@ func (w *worker) emit(events []*event.Event) {
 		if w.eng.cfg.CollectOutputs {
 			w.collected = append(w.collected, e)
 		}
-		if w.eng.cfg.OnOutput != nil {
+		if w.merged {
+			w.mergeSink = append(w.mergeSink, e)
+		} else if w.eng.cfg.OnOutput != nil {
 			w.eng.cfg.OnOutput(e)
 		}
 	}

@@ -1,9 +1,11 @@
 #!/usr/bin/env sh
 # Benchmark harness: runs the BenchmarkPattern* family plus the engine
-# end-to-end benchmarks into BENCH_pattern.json, and the ingest
-# pipeline family (decoder, batcher, end-to-end wire/batch/sync) into
-# BENCH_ingest.json, both at the repo root. Pure POSIX sh + awk; no
-# dependencies beyond the go toolchain.
+# end-to-end benchmarks into BENCH_pattern.json, the ingest pipeline
+# family (decoder, batcher, end-to-end wire/batch/sync) into
+# BENCH_ingest.json, and the sharded runtime's scaling series
+# (BenchmarkEngineSharded/shards=1..8 on the dispatch-bound workload)
+# into BENCH_scaling.json, all at the repo root. Pure POSIX sh + awk;
+# no dependencies beyond the go toolchain.
 #
 # Usage: scripts/bench.sh [count]   (default benchmark -count is 3;
 # the median run per benchmark is reported)
@@ -13,7 +15,8 @@ cd "$(dirname "$0")/.."
 count=${1:-3}
 tmp=$(mktemp)
 tmp2=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2"' EXIT
+tmp3=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
 
 echo "== running pattern kernel benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkPattern' -benchmem -count="$count" \
@@ -27,6 +30,10 @@ go test -run=NONE -bench='BenchmarkIngest' -benchmem -count="$count" \
     ./internal/event/ | tee -a "$tmp2" >&2
 go test -run=NONE -bench='BenchmarkEngine(WireIngest|BatchStream|SyncIngest)' -benchmem -count="$count" \
     . | tee -a "$tmp2" >&2
+
+echo "== running shard scaling benchmarks (count=$count)" >&2
+go test -run=NONE -bench='BenchmarkEngineSharded' -benchmem -count="$count" \
+    . | tee -a "$tmp3" >&2
 
 # Parse `BenchmarkName  N  t ns/op [x ns/event|x events/op]  b B/op
 # a allocs/op` lines, take the median ns/op run per benchmark, and
@@ -79,3 +86,7 @@ cat BENCH_pattern.json
 awk "$render_json" "$tmp2" > BENCH_ingest.json
 echo "== wrote BENCH_ingest.json" >&2
 cat BENCH_ingest.json
+
+awk "$render_json" "$tmp3" > BENCH_scaling.json
+echo "== wrote BENCH_scaling.json" >&2
+cat BENCH_scaling.json

@@ -54,6 +54,8 @@ check_zero_allocs 'BenchmarkPatternTwoStepJoin$' ./internal/algebra/
 check_zero_allocs 'BenchmarkPatternExtensionHeavy$' ./internal/algebra/
 check_zero_allocs 'BenchmarkPatternNegationHeavy$' ./internal/algebra/
 check_zero_allocs 'BenchmarkDistributor$' ./internal/runtime/
+check_zero_allocs 'BenchmarkShardRouter$' ./internal/runtime/
+check_zero_allocs 'BenchmarkSpscRing$' ./internal/runtime/
 check_zero_allocs 'BenchmarkIngestReader$' ./internal/event/
 
 # Kernel differential under the race detector, at higher counts than
@@ -63,5 +65,13 @@ check_zero_allocs 'BenchmarkIngestReader$' ./internal/event/
 echo "== go test -race (kernel differential focus)"
 go test -race -count=2 -run 'TestKernelDifferentialFuzz|TestPatternKernelEquivalence' ./internal/algebra/
 go test -race -count=2 -run 'TestPatternKernelsByteIdentical' .
+
+# Sharded runtime differential under the race detector: shards>1 must
+# stay byte-identical to the shards=1 legacy pipeline (ring hand-off,
+# per-shard completion marks, watermark and ordered output merge all
+# race-checked at higher counts than the suite-wide pass).
+echo "== go test -race (sharded runtime differential)"
+go test -race -count=2 -run 'TestShardedMatchesLegacy|TestShardedOrderedOutput|TestSpscRing' ./internal/runtime/
+go test -race -count=2 -run 'TestShardedTollByteIdentical' .
 
 echo "== ci OK"
