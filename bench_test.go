@@ -156,7 +156,9 @@ func BenchmarkEngineDispatchBound(b *testing.B) {
 // BenchmarkEngineSharded is the sharded runtime's scaling series: the
 // dispatch-bound workload of BenchmarkEngineDispatchBound across
 // shard counts (shards=1 is the legacy distributor + worker-pool
-// pipeline). scripts/bench.sh renders this series into
+// pipeline), with the stage tracer enabled at its default 1-in-64
+// sample rate — the series doubles as the proof that sampled tracing
+// costs nothing measurable. scripts/bench.sh renders this series into
 // BENCH_scaling.json; speedup over shards=1 is bounded by the
 // machine's core count — see EXPERIMENTS.md for measured numbers and
 // the hardware note.
@@ -166,6 +168,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 			eng, err := NewFromSource(dispatchBenchModel, Config{
 				PartitionBy: LinearRoadPartitionBy(),
 				Shards:      shards,
+				Stages:      NewStageTracer(0, 0),
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -81,15 +81,27 @@ type (
 	Model = model.Model
 )
 
-// Telemetry types (see internal/telemetry and DESIGN.md §3.3): a
-// registry set on Config.Telemetry receives the engine's live metric
-// families; a tracer on Config.Tracer records per-transaction spans.
+// Telemetry types (see internal/telemetry and DESIGN.md §3.3, §3.7):
+// a registry set on Config.Telemetry receives the engine's live
+// metric families; a tracer on Config.Tracer records per-transaction
+// spans; a stage tracer on Config.Stages samples tick timelines
+// through every pipeline stage; a health set on Config.Health
+// receives the run's liveness probes.
 type (
 	// TelemetryRegistry is a named view over the engine's lock-free
 	// metric objects, scrapeable as Prometheus text or JSON.
 	TelemetryRegistry = telemetry.Registry
 	// Tracer records stream-transaction spans and logs slow ones.
 	Tracer = telemetry.Tracer
+	// StageTracer samples per-tick stage timelines into latency
+	// histograms and a flight recorder, served on /tracez.
+	StageTracer = telemetry.StageTracer
+	// Health is an ordered set of liveness/readiness probes, served
+	// on /healthz.
+	Health = telemetry.Health
+	// AdminConfig bundles the backing state of the admin HTTP
+	// surface (see NewAdminHandler).
+	AdminConfig = telemetry.Admin
 )
 
 // NewTelemetryRegistry creates an empty metrics registry.
@@ -101,9 +113,25 @@ func NewTracer(threshold time.Duration, w io.Writer) *Tracer {
 	return telemetry.NewTracer(threshold, w)
 }
 
+// NewStageTracer creates a stage tracer sampling one in sampleRate
+// ticks into a flight recorder of depth timelines (0 picks defaults;
+// see telemetry.NewStageTracer). Set it on Config.Stages.
+func NewStageTracer(sampleRate, depth int) *StageTracer {
+	return telemetry.NewStageTracer(sampleRate, depth)
+}
+
+// NewHealth creates an empty probe set. Set it on Config.Health and
+// the run registers its engine/watermark/backlog probes.
+func NewHealth() *Health { return telemetry.NewHealth() }
+
 // TelemetryHandler serves a registry over HTTP: /metrics (Prometheus
 // text), /statusz (JSON) and /debug/pprof.
 func TelemetryHandler(r *TelemetryRegistry) http.Handler { return telemetry.Handler(r) }
+
+// NewAdminHandler serves the full admin surface — /metrics, /statusz,
+// /tracez, /healthz, /buildz and /debug/pprof — for whatever parts of
+// a are set; unset parts degrade gracefully.
+func NewAdminHandler(a AdminConfig) http.Handler { return telemetry.NewHandler(a) }
 
 // Event model types.
 type (

@@ -43,7 +43,8 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
 	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
 	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
-	admin := flag.String("admin", "", "serve /metrics, /statusz and /debug/pprof on this HTTP address")
+	admin := flag.String("admin", "", "serve /metrics, /statusz, /tracez, /healthz, /buildz and /debug/pprof on this HTTP address")
+	traceSample := flag.Int("trace-sample", 0, "stage-trace one in N ticks for /tracez (0 = off; 1 = every tick; used with -admin)")
 	flag.Parse()
 
 	if *modelPath == "" {
@@ -78,6 +79,9 @@ func main() {
 		ReadAhead:          *readAhead,
 		DisablePipeline:    *noPipeline,
 	}
+	if *traceSample > 0 {
+		engCfg.Stages = telemetry.NewStageTracer(*traceSample, 0)
+	}
 	if *listen != "" {
 		serve(m, *listen, *admin, engCfg)
 		return
@@ -87,7 +91,13 @@ func main() {
 	if *admin != "" {
 		reg := telemetry.NewRegistry()
 		cfg.Telemetry = reg
-		startAdmin(*admin, telemetry.Handler(reg))
+		cfg.Health = telemetry.NewHealth()
+		startAdmin(*admin, telemetry.NewHandler(telemetry.Admin{
+			Registry: reg,
+			Stages:   cfg.Stages,
+			Health:   cfg.Health,
+			Build:    telemetry.BuildInfo{Config: cfg.Summary()},
+		}))
 	}
 	if !*quiet {
 		var mu sync.Mutex
@@ -124,6 +134,9 @@ func main() {
 // serve runs the TCP session server (see internal/server): each
 // connection streams events in and derived events out.
 func serve(m *model.Model, addr, admin string, engCfg core.Config) {
+	if admin != "" {
+		engCfg.Health = telemetry.NewHealth()
+	}
 	srv, err := server.New(server.Config{
 		Model:  m,
 		Engine: engCfg,

@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os"
@@ -169,6 +170,137 @@ func TestAdminEndpointSmoke(t *testing.T) {
 	statusz := scrape(t, "http://"+addr+"/statusz", "caesar_events_total")
 	if !strings.Contains(statusz, "caesar_worker_txns_total") {
 		t.Errorf("/statusz missing worker counters: %s", statusz)
+	}
+}
+
+// TestTraceHealthEndpointSmoke replays a paced stream with stage
+// tracing on and scrapes /tracez, /healthz and /buildz while the run
+// is live: the flight recorder must hold sane per-stage timelines and
+// the health probes must report the run as alive.
+func TestTraceHealthEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	lrgen := buildCmd(t, dir, "./cmd/lrgen")
+	caesarBin := buildCmd(t, dir, "./cmd/caesar")
+
+	modelOut, err := exec.Command(lrgen, "-model").Output()
+	if err != nil {
+		t.Fatalf("lrgen -model: %v", err)
+	}
+	modelPath := filepath.Join(dir, "traffic.caesar")
+	if err := os.WriteFile(modelPath, modelOut, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := exec.Command(lrgen, "-roads", "1", "-segments", "4", "-duration", "400").Output()
+	if err != nil {
+		t.Fatalf("lrgen: %v", err)
+	}
+
+	// Sharded runtime, every tick sampled, paced so scrapes observe a
+	// live run with spans in flight.
+	run := exec.Command(caesarBin, "-model", modelPath, "-partition-by", "xway,dir,seg",
+		"-quiet", "-admin", "127.0.0.1:0", "-pacing", "5ms", "-shards", "2", "-trace-sample", "1")
+	run.Stdin = bytes.NewReader(events)
+	stderrPipe, err := run.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer run.Wait()
+	defer run.Process.Kill()
+
+	sc := bufio.NewScanner(stderrPipe)
+	var addr string
+	for sc.Scan() {
+		if rest, ok := strings.CutPrefix(sc.Text(), "caesar: admin on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("admin address not announced on stderr")
+	}
+	go func() { // keep draining so the child never blocks on stderr
+		for sc.Scan() {
+		}
+	}()
+
+	// /tracez: wait until the recorder holds timelines with an exec
+	// stage, then check the JSON shape end to end.
+	body := scrape(t, "http://"+addr+"/tracez", `"exec"`)
+	var tz struct {
+		Enabled    bool `json:"enabled"`
+		SampleRate int  `json:"sample_rate"`
+		Spans      int  `json:"spans"`
+		Stages     map[string]struct {
+			Count int   `json:"count"`
+			P50   int64 `json:"p50_ns"`
+			Max   int64 `json:"max_ns"`
+		} `json:"stages"`
+		Recent []map[string]any `json:"recent"`
+	}
+	if err := json.Unmarshal([]byte(body), &tz); err != nil {
+		t.Fatalf("/tracez is not JSON: %v\n%s", err, body)
+	}
+	if !tz.Enabled || tz.SampleRate != 1 {
+		t.Errorf("/tracez enabled=%v sample_rate=%d, want true/1", tz.Enabled, tz.SampleRate)
+	}
+	if tz.Spans == 0 || len(tz.Recent) == 0 {
+		t.Errorf("/tracez recorded nothing: spans=%d recent=%d", tz.Spans, len(tz.Recent))
+	}
+	for _, st := range []string{"route", "ring_wait", "exec"} {
+		h, ok := tz.Stages[st]
+		if !ok || h.Count == 0 {
+			t.Errorf("/tracez stage %q missing or empty: %+v", st, h)
+			continue
+		}
+		if h.P50 < 0 || h.Max <= 0 || h.Max > int64(time.Minute) {
+			t.Errorf("/tracez stage %q has insane latencies: %+v", st, h)
+		}
+	}
+	for _, tl := range tz.Recent {
+		stages, ok := tl["stages_ns"].(map[string]any)
+		if !ok || len(stages) == 0 {
+			t.Errorf("/tracez timeline without stages: %v", tl)
+		}
+	}
+
+	// /healthz: a live run reports OK with engine/watermark/shards
+	// probes.
+	hz := scrape(t, "http://"+addr+"/healthz", `"engine"`)
+	var rep struct {
+		OK     bool `json:"ok"`
+		Probes map[string]struct {
+			OK     bool   `json:"ok"`
+			Detail string `json:"detail"`
+		} `json:"probes"`
+	}
+	if err := json.Unmarshal([]byte(hz), &rep); err != nil {
+		t.Fatalf("/healthz is not JSON: %v\n%s", err, hz)
+	}
+	if !rep.OK {
+		t.Errorf("/healthz not ok during live run: %s", hz)
+	}
+	for _, want := range []string{"engine", "watermark", "shards"} {
+		if p, ok := rep.Probes[want]; !ok || !p.OK {
+			t.Errorf("/healthz probe %q missing or failing: %s", want, hz)
+		}
+	}
+
+	// /buildz: build metadata plus the engine config summary.
+	bz := scrape(t, "http://"+addr+"/buildz", `"go_version"`)
+	var build struct {
+		Config map[string]string `json:"config"`
+	}
+	if err := json.Unmarshal([]byte(bz), &build); err != nil {
+		t.Fatalf("/buildz is not JSON: %v\n%s", err, bz)
+	}
+	if build.Config["shards"] != "2" || build.Config["trace_sample_rate"] != "1" {
+		t.Errorf("/buildz config wrong: %v", build.Config)
 	}
 }
 

@@ -9,6 +9,8 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
@@ -79,6 +81,43 @@ type Config struct {
 	// Tracer, when non-nil, records per-transaction spans and logs
 	// transactions slower than its threshold.
 	Tracer *telemetry.Tracer
+	// Stages, when non-nil, samples tick timelines through every
+	// pipeline stage into per-stage latency histograms and the
+	// /tracez flight recorder (see runtime.Config.Stages).
+	Stages *telemetry.StageTracer
+	// Health, when non-nil, receives the run's liveness/readiness
+	// probes for /healthz (see runtime.Config.Health).
+	Health *telemetry.Health
+}
+
+// Summary renders the configuration as a flat string map — the
+// config block of the /buildz admin endpoint.
+func (c Config) Summary() map[string]string {
+	mode := "context-aware"
+	if c.ContextIndependent {
+		mode = "context-independent"
+	}
+	s := map[string]string{
+		"mode":         mode,
+		"sharing":      strconv.FormatBool(c.Sharing),
+		"fusion":       strconv.FormatBool(c.FusePatterns),
+		"pushdown":     strconv.FormatBool(!c.DisablePushDown && !c.ContextIndependent),
+		"partition_by": strings.Join(c.PartitionBy, ","),
+		"workers":      strconv.Itoa(c.Workers),
+		"shards":       strconv.Itoa(c.Shards),
+		"read_ahead":   strconv.Itoa(c.ReadAhead),
+		"pipeline":     strconv.FormatBool(!c.DisablePipeline),
+	}
+	if c.Pacing > 0 {
+		s["pacing"] = c.Pacing.String()
+	}
+	if c.LegacyPatternKernel {
+		s["legacy_kernel"] = "true"
+	}
+	if c.Stages != nil {
+		s["trace_sample_rate"] = strconv.Itoa(c.Stages.SampleRate())
+	}
+	return s
 }
 
 // Engine is a compiled, optimized, runnable CAESAR system.
@@ -127,6 +166,8 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		OnOutput:        cfg.OnOutput,
 		Telemetry:       cfg.Telemetry,
 		Tracer:          cfg.Tracer,
+		Stages:          cfg.Stages,
+		Health:          cfg.Health,
 	})
 	if err != nil {
 		return nil, err

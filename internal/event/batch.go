@@ -15,6 +15,13 @@ type Batch struct {
 	// stay valid until the consumer's watermark passes them and the
 	// source reclaims (see Reclaimer).
 	Events []*Event
+	// DecodeNs and ReadyNs are stage-tracing stamps set by the ingest
+	// decode goroutine when tracing is enabled (zero otherwise): how
+	// long the batch took to decode, and the wall-clock instant (unix
+	// nanoseconds) it entered the read-ahead ring. The dispatch side
+	// derives the batch's queue wait from ReadyNs.
+	DecodeNs int64
+	ReadyNs  int64
 }
 
 // BatchSource yields tick-aligned event batches. NextBatch fills b

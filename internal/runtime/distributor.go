@@ -2,8 +2,10 @@ package runtime
 
 import (
 	"sync"
+	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // controlKey is the partition of events carrying none of the key
@@ -44,9 +46,12 @@ type partTxn struct {
 
 // txnMsg is the distributor → worker hand-off unit: one application
 // timestamp and every transaction of that tick owned by the worker.
+// span is non-nil on sampled ticks (stage tracing): the worker stamps
+// ring wait and execution onto it and finishes it.
 type txnMsg struct {
-	ts  event.Time
-	buf *txnBuf
+	ts   event.Time
+	buf  *txnBuf
+	span *telemetry.Span
 }
 
 // bufStack is a tiny lock-guarded free list. Each worker owns one per
@@ -175,6 +180,15 @@ type distributor struct {
 	// rm, when set by the engine, carries the partition-count gauge
 	// (the distributor runs on the Run goroutine — single writer).
 	rm *runMetrics
+
+	// stages samples tick timelines (nil = no stage clocks at all);
+	// decodeNs/queueNs carry the current batch's decode and queue-wait
+	// stamps, and pipeline marks the batched ingest path (the only one
+	// with those stages). All dispatch-goroutine-owned.
+	stages   *telemetry.StageTracer
+	decodeNs int64
+	queueNs  int64
+	pipeline bool
 }
 
 func newDistributor(workers []*worker, partBy []string) *distributor {
@@ -228,7 +242,13 @@ func (d *distributor) intern(key string) *partition {
 // order — deterministic for in-order input — and transactions of the
 // same partition always reach the same worker in timestamp order,
 // the §6.2 scheduler correctness condition.
+//
+// On sampled ticks (stage tracing) each dispatched message carries a
+// span stamped with the batch's decode/queue shares and this tick's
+// routing time; arrival doubles as the route-start instant, so
+// sampling adds exactly one extra clock read to the dispatch path.
 func (d *distributor) dispatch(ts event.Time, evs []*event.Event, arrival int64) {
+	sampled := d.stages.SampleTick()
 	for _, ev := range evs {
 		ev.Arrival = arrival
 		p := d.partitionOf(ev)
@@ -249,9 +269,23 @@ func (d *distributor) dispatch(ts event.Time, evs []*event.Event, arrival int64)
 		p.batch = nil
 	}
 	d.active = d.active[:0]
+	var now int64
+	if sampled {
+		now = time.Now().UnixNano()
+	}
 	for i, tb := range d.pending {
 		if tb != nil {
-			d.workers[i].ch <- txnMsg{ts: ts, buf: tb}
+			var sp *telemetry.Span
+			if sampled {
+				sp = d.stages.Start(int64(ts), i)
+				if d.pipeline {
+					sp.Stamp(telemetry.StageDecode, d.decodeNs)
+					sp.Stamp(telemetry.StageQueue, d.queueNs)
+				}
+				sp.Stamp(telemetry.StageRoute, now-arrival)
+				sp.MarkAt(now)
+			}
+			d.workers[i].ch <- txnMsg{ts: ts, buf: tb, span: sp}
 			d.workers[i].sentTS = int64(ts)
 			d.pending[i] = nil
 		}

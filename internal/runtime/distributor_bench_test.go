@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // benchTick builds one tick of Linear Road-shaped position reports
@@ -19,12 +20,13 @@ func benchTick(n, nParts int) []*event.Event {
 }
 
 // drainStub empties a stub worker's channel, recycling every buffer
-// exactly like the worker loop does but without executing
-// transactions.
+// (and any sampled span) exactly like the worker loop does but
+// without executing transactions.
 func drainStub(w *worker) {
 	for {
 		select {
 		case msg := <-w.ch:
+			msg.span.Finish()
 			for i := range msg.buf.txns {
 				w.putEventBuf(msg.buf.txns[i].buf)
 			}
@@ -95,6 +97,37 @@ func BenchmarkDistributorConcurrent(b *testing.B) {
 		close(w.ch)
 	}
 	wg.Wait()
+	b.ReportMetric(tickSize, "events/op")
+}
+
+// BenchmarkDistributorTraced is BenchmarkDistributor with the stage
+// tracer enabled at sample rate 1 — every tick carries spans — so it
+// bounds the tracing overhead on the dispatch-bound path. The span
+// pool recycles through the stub drain, so steady state must still
+// report 0 allocs/op (the ci.sh bench guard enforces this).
+func BenchmarkDistributorTraced(b *testing.B) {
+	const workers, parts, tickSize = 4, 24, 512
+	ws := stubWorkers(workers)
+	d := newDistributor(ws, []string{"xway", "dir", "seg"})
+	d.stages = telemetry.NewStageTracer(1, 64)
+	tick := benchTick(tickSize, parts)
+	d.dispatch(1, tick, 1)
+	for _, w := range ws {
+		drainStub(w)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.dispatch(event.Time(i+2), tick, 1)
+		for _, w := range ws {
+			drainStub(w)
+		}
+	}
+	b.StopTimer()
+	if spans := d.stages.Timelines(); len(spans) == 0 {
+		b.Fatal("tracer recorded nothing at sample rate 1")
+	}
 	b.ReportMetric(tickSize, "events/op")
 }
 

@@ -123,6 +123,18 @@ type Config struct {
 	// logs transactions slower than its threshold. Enabling the
 	// tracer also enables per-transaction timing.
 	Tracer *telemetry.Tracer
+	// Stages, when set, samples tick timelines end to end through the
+	// pipeline (decode, queue wait, route, ring wait, execute, merge
+	// hold-back) into per-stage latency histograms and the flight
+	// recorder behind /tracez (DESIGN.md §3.7). Sampling is 1-in-N
+	// (the tracer's rate); unsampled ticks pay one atomic add. When
+	// nil, no stage clocks are read at all.
+	Stages *telemetry.StageTracer
+	// Health, when set, receives the run's liveness/readiness probes
+	// (engine running, watermark advancing, execution units draining)
+	// behind /healthz. Probes are replaced per run, like registry
+	// metrics.
+	Health *telemetry.Health
 }
 
 // Stats reports a run's measurements.

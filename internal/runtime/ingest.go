@@ -112,6 +112,9 @@ type run struct {
 	// ending strictly before it is unreferenced. Written by the
 	// dispatch goroutine, read by the decode goroutine.
 	watermark atomic.Int64
+
+	// health backs the run's /healthz probes (runtime health.go).
+	health *runHealth
 }
 
 func (e *Engine) newRun(ringDepth func() int64) *run {
@@ -129,7 +132,26 @@ func (e *Engine) newRun(ringDepth func() int64) *run {
 	r.rm.register(e.cfg.Telemetry, e, r.workers)
 	r.dist = newDistributor(r.workers, e.cfg.PartitionBy)
 	r.dist.rm = r.rm
+	r.dist.stages = r.rm.stages
 	r.watermark.Store(math.MinInt64)
+	workers := r.workers
+	r.health = registerRunHealth(e.cfg.Health, "workers",
+		func() int64 {
+			max := int64(math.MinInt64)
+			for _, w := range workers {
+				if c := w.completed.Load(); c > max {
+					max = c
+				}
+			}
+			return max
+		},
+		func() int64 {
+			var n int64
+			for _, w := range workers {
+				n += w.queueDepth()
+			}
+			return n
+		})
 	return r
 }
 
@@ -148,6 +170,7 @@ func (r *run) dispatchTick(ts event.Time, evs []*event.Event) {
 		}
 	}
 	r.dist.dispatch(ts, evs, time.Now().UnixNano())
+	r.health.routed.Store(int64(ts))
 }
 
 // shutdown closes the worker channels and waits for drain.
@@ -161,13 +184,14 @@ func (r *run) shutdown() {
 // finish surfaces the run error or the source's deferred error, then
 // collects Stats.
 func (r *run) finish(src any, runErr error) (*Stats, error) {
+	if runErr == nil {
+		if es, ok := src.(interface{ Err() error }); ok {
+			runErr = es.Err()
+		}
+	}
+	r.health.finish(runErr)
 	if runErr != nil {
 		return nil, runErr
-	}
-	if es, ok := src.(interface{ Err() error }); ok {
-		if err := es.Err(); err != nil {
-			return nil, err
-		}
 	}
 	return r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start)), nil
 }
@@ -175,8 +199,11 @@ func (r *run) finish(src any, runErr error) (*Stats, error) {
 // startDecode launches the decode goroutine: it fills recycled batch
 // structs from src behind the read-ahead ring, reclaiming the
 // source's event arena below the published watermark before each
-// batch. Shared by the legacy and sharded pipelines.
+// batch. Shared by the legacy and sharded pipelines. With stage
+// tracing on, each batch carries its decode duration and ring-entry
+// instant (two clock reads per batch — never per event).
 func startDecode(ring *batchRing, src event.BatchSource, rec event.Reclaimer, watermark *atomic.Int64, rm *runMetrics, wg *sync.WaitGroup) {
+	traced := rm.stages != nil
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -193,7 +220,15 @@ func startDecode(ring *batchRing, src event.BatchSource, rec event.Reclaimer, wa
 					}
 				}
 			}
+			var start int64
+			if traced {
+				start = time.Now().UnixNano()
+			}
 			more := src.NextBatch(b)
+			if traced {
+				b.ReadyNs = time.Now().UnixNano()
+				b.DecodeNs = b.ReadyNs - start
+			}
 			if len(b.Events) > 0 && !ring.send(b) {
 				return
 			}
@@ -222,15 +257,23 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 	}
 	ring := newBatchRing(n)
 	r := e.newRun(func() int64 { return int64(len(ring.data)) })
+	r.dist.pipeline = true
 	rec, _ := src.(event.Reclaimer)
 	slack := e.reclaimSlack()
 
 	var decodeWG sync.WaitGroup
 	startDecode(ring, src, rec, &r.watermark, r.rm, &decodeWG)
 
+	traced := r.rm.stages != nil
 	var runErr error
 	for b := range ring.data {
 		r.rm.batches.Inc()
+		if traced {
+			// The batch's queue wait and decode time attach to every
+			// tick sampled out of it (batch-level attribution).
+			r.dist.decodeNs = b.DecodeNs
+			r.dist.queueNs = time.Now().UnixNano() - b.ReadyNs
+		}
 		if runErr = r.dispatchBatch(b); runErr != nil {
 			ring.abort()
 			break

@@ -16,15 +16,20 @@ package runtime
 
 import (
 	"math"
+	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // outRun is one shard's derived events for one tick, in emission
-// order.
+// order. span, non-nil on sampled ticks, is finished by the merger at
+// release time, stamping the merge hold-back (shard completion →
+// ordered release); the SPSC push/pop pair carries the span writes.
 type outRun struct {
-	ts  event.Time
-	evs []*event.Event
+	ts   event.Time
+	evs  []*event.Event
+	span *telemetry.Span
 }
 
 // mergeRingDepth bounds how many unreleased ticks' runs a shard may
@@ -65,12 +70,15 @@ func newOutputMerger(shards []*engineShard, out func(*event.Event)) *outputMerge
 
 // flushTick moves the shard worker's buffered emissions for tick ts
 // into the merge ring. Called by the shard goroutine after each tick.
-func (m *outputMerger) flushTick(s *engineShard, ts event.Time) {
+// A tick that emitted nothing has no hold-back to measure: its span
+// (if sampled) finishes immediately, merge stage unobserved.
+func (m *outputMerger) flushTick(s *engineShard, ts event.Time, sp *telemetry.Span) {
 	evs := s.w.mergeSink
 	if len(evs) == 0 {
+		sp.Finish()
 		return
 	}
-	m.rings[s.id].push(outRun{ts: ts, evs: evs})
+	m.rings[s.id].push(outRun{ts: ts, evs: evs, span: sp})
 	// Wake after every push, not just per message: a single grant can
 	// carry more ticks than the ring holds, and the merger must drain
 	// (into its pending queues) for the next push to unblock.
@@ -157,6 +165,12 @@ func (m *outputMerger) release(safe int64) {
 		if m.heads[best] == len(m.pending[best]) {
 			m.pending[best] = m.pending[best][:0]
 			m.heads[best] = 0
+		}
+		if run.span != nil {
+			// The span's mark is the shard's exec-end instant; the
+			// delta is how long ordering held the output back.
+			run.span.StampSince(telemetry.StageMerge, time.Now().UnixNano())
+			run.span.Finish()
 		}
 		for _, ev := range run.evs {
 			m.out(ev)

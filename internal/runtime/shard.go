@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // shardRingDepth is the capacity, in messages, of each router→shard
@@ -47,8 +48,14 @@ const shardRingDepth = 8
 // splitting a tick (batches are tick-aligned and messages are cut on
 // batch boundaries). Messages cycle router→shard→free ring→router,
 // so the steady state allocates nothing.
+//
+// spans holds the stage spans of this grant's sampled ticks, in tick
+// order (at most one per tick — the router starts one the first time
+// a sampled tick touches this shard). The ring's release/acquire
+// hand-off carries the span writes across goroutines.
 type shardMsg struct {
-	evs []*event.Event
+	evs   []*event.Event
+	spans []*telemetry.Span
 }
 
 // engineShard is one partition-owning execution unit: a shard-local
@@ -139,17 +146,30 @@ func (s *engineShard) loop() {
 			break
 		}
 		evs := msg.evs
+		spanIdx := 0
 		for i := 0; i < len(evs); {
 			ts := evs[i].End()
 			j := i + 1
 			for j < len(evs) && evs[j].End() == ts {
 				j++
 			}
-			s.execTick(ts, evs[i:j])
+			// Sampled ticks carry spans in tick order; ring wait runs
+			// from the router's route-end mark to the tick's first
+			// touch here — grant residence, ring time and waiting
+			// behind earlier ticks all count as queue time, which is
+			// what they are.
+			var sp *telemetry.Span
+			if spanIdx < len(msg.spans) && msg.spans[spanIdx].Tick() == int64(ts) {
+				sp = msg.spans[spanIdx]
+				spanIdx++
+				sp.StampSince(telemetry.StageRingWait, time.Now().UnixNano())
+			}
+			s.execTick(ts, evs[i:j], sp)
 			s.completed.Store(int64(ts))
 			i = j
 		}
 		msg.evs = msg.evs[:0]
+		msg.spans = msg.spans[:0]
 		s.free.push(msg)
 		if s.mrg != nil {
 			s.mrg.wake()
@@ -165,7 +185,7 @@ func (s *engineShard) loop() {
 // the tick's events by partition (first-seen order, exactly like the
 // distributor) and run each partition's transaction on this shard's
 // execution state.
-func (s *engineShard) execTick(ts event.Time, evs []*event.Event) {
+func (s *engineShard) execTick(ts event.Time, evs []*event.Event, sp *telemetry.Span) {
 	w := s.w
 	for _, ev := range evs {
 		p := s.partitionOf(ev)
@@ -176,6 +196,10 @@ func (s *engineShard) execTick(ts event.Time, evs []*event.Event) {
 		p.batch.evs = append(p.batch.evs, ev)
 	}
 	w.wallNow = 0
+	var outBase uint64
+	if sp != nil {
+		outBase = w.wm.outputs.Value()
+	}
 	for _, p := range s.active {
 		ps := p.state
 		if ps == nil {
@@ -189,16 +213,26 @@ func (s *engineShard) execTick(ts event.Time, evs []*event.Event) {
 			ps.exec(w, ts, p.batch.evs)
 			d := time.Since(start)
 			w.wm.txnLatency.ObserveDuration(d)
-			w.rm.tracer.Record(d, p.key, int64(ts), w.execsInTxn, len(p.batch.evs))
+			w.rm.tracer.Record(d, p.key, int64(ts), w.execsInTxn, len(p.batch.evs), sp)
 		} else {
 			ps.exec(w, ts, p.batch.evs)
 		}
 		w.putEventBuf(p.batch)
 		p.batch = nil
 	}
+	if sp != nil {
+		sp.SetCounts(len(s.active), len(evs))
+		sp.StampSince(telemetry.StageExec, time.Now().UnixNano())
+		sp.SetEmitted(int(w.wm.outputs.Value() - outBase))
+	}
 	s.active = s.active[:0]
 	if s.mrg != nil {
-		s.mrg.flushTick(s, ts)
+		// The merger finishes the span when it releases the tick's
+		// output (stamping merge hold-back); with nothing buffered the
+		// span finishes right here inside flushTick.
+		s.mrg.flushTick(s, ts, sp)
+	} else if sp != nil {
+		sp.Finish()
 	}
 }
 
@@ -227,6 +261,18 @@ type shardedRun struct {
 	// the legacy pipeline's (ingest.go).
 	watermark atomic.Int64
 	slack     int64
+
+	// Stage tracing (router-goroutine-owned): stages samples ticks,
+	// decodeNs/queueNs carry the current batch's ingest stamps, and
+	// tickSpans collects the current tick's spans (one per touched
+	// shard) until the tick's routing time is known.
+	stages    *telemetry.StageTracer
+	decodeNs  int64
+	queueNs   int64
+	tickSpans []*telemetry.Span
+
+	// health backs the run's /healthz probes (health.go).
+	health *runHealth
 }
 
 // shardOf renders the event's partition key and hashes it onto the
@@ -274,6 +320,7 @@ func (r *shardedRun) routeBatch(b *event.Batch) error {
 				time.Sleep(d)
 			}
 		}
+		sampled := r.stages.SampleTick()
 		arrival := time.Now().UnixNano()
 		for _, ev := range evs[i:j] {
 			ev.Arrival = arrival
@@ -284,11 +331,35 @@ func (r *shardedRun) routeBatch(b *event.Batch) error {
 				r.pending[si] = msg
 			}
 			msg.evs = append(msg.evs, ev)
+			if sampled {
+				// One span per (tick, shard), started the first time
+				// the tick touches the shard; ticks route in order, so
+				// the grant's last span is the current tick's if any.
+				if n := len(msg.spans); n == 0 || msg.spans[n-1].Tick() != int64(ts) {
+					sp := r.stages.Start(int64(ts), int(si))
+					msg.spans = append(msg.spans, sp)
+					r.tickSpans = append(r.tickSpans, sp)
+				}
+			}
+		}
+		if sampled {
+			// arrival doubles as the tick's route-start instant, so
+			// sampling costs one extra clock read per tick. Decode and
+			// queue wait are batch-level attributions.
+			now := time.Now().UnixNano()
+			for _, sp := range r.tickSpans {
+				sp.Stamp(telemetry.StageDecode, r.decodeNs)
+				sp.Stamp(telemetry.StageQueue, r.queueNs)
+				sp.Stamp(telemetry.StageRoute, now-arrival)
+				sp.MarkAt(now)
+			}
+			r.tickSpans = r.tickSpans[:0]
 		}
 		if pacing > 0 {
 			r.flush()
 		}
 		r.lastTS, r.haveLast = ts, true
+		r.health.routed.Store(int64(ts))
 		i = j
 	}
 	r.flush()
@@ -357,6 +428,7 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 		pending: make([]*shardMsg, n),
 		start:   time.Now(),
 		slack:   e.reclaimSlack(),
+		stages:  rm.stages,
 	}
 	r.ctrlShard = pickIdx(fnv1a(controlKey), n, r.smask)
 	r.watermark.Store(math.MinInt64)
@@ -367,6 +439,24 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 		r.shards[i] = newEngineShard(e, i, rm)
 		workers[i] = r.shards[i].w
 	}
+	shards := r.shards
+	r.health = registerRunHealth(e.cfg.Health, "shards",
+		func() int64 {
+			max := int64(math.MinInt64)
+			for _, s := range shards {
+				if c := s.completed.Load(); c > max {
+					max = c
+				}
+			}
+			return max
+		},
+		func() int64 {
+			var n int64
+			for _, s := range shards {
+				n += s.in.occupancy()
+			}
+			return n
+		})
 	if e.cfg.OnOutput != nil {
 		r.mrg = newOutputMerger(r.shards, e.cfg.OnOutput)
 		for _, s := range r.shards {
@@ -396,9 +486,14 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 	var decodeWG sync.WaitGroup
 	startDecode(ring, src, rec, &r.watermark, rm, &decodeWG)
 
+	traced := r.stages != nil
 	var runErr error
 	for b := range ring.data {
 		rm.batches.Inc()
+		if traced {
+			r.decodeNs = b.DecodeNs
+			r.queueNs = time.Now().UnixNano() - b.ReadyNs
+		}
 		if runErr = r.routeBatch(b); runErr != nil {
 			ring.abort()
 			break
@@ -419,13 +514,14 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 		r.mrg.waitDone()
 	}
 
+	if runErr == nil {
+		if es, ok := src.(interface{ Err() error }); ok {
+			runErr = es.Err()
+		}
+	}
+	r.health.finish(runErr)
 	if runErr != nil {
 		return nil, runErr
-	}
-	if es, ok := src.(interface{ Err() error }); ok {
-		if err := es.Err(); err != nil {
-			return nil, err
-		}
 	}
 	partitions := 0
 	for _, s := range r.shards {

@@ -52,6 +52,9 @@ type runMetrics struct {
 	detail bool
 
 	tracer *telemetry.Tracer
+	// stages is the stage-span tracer (Config.Stages); nil disables
+	// all stage clock reads. Shared with the distributor / router.
+	stages *telemetry.StageTracer
 }
 
 // ctxMetrics is the router's per-context activity: activations
@@ -102,6 +105,7 @@ func newRunMetrics(e *Engine, nWorkers int) *runMetrics {
 		query:   make([]queryMetrics, len(e.queryNames)),
 		detail:  e.cfg.Telemetry != nil || e.cfg.Tracer != nil,
 		tracer:  e.cfg.Tracer,
+		stages:  e.cfg.Stages,
 	}
 	for i := range rm.workers {
 		rm.workers[i] = &workerMetrics{}
@@ -170,6 +174,7 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 		reg.Register("caesar_txn_spans_total", "transaction spans recorded", &rm.tracer.Spans)
 		reg.Register("caesar_slow_txns_total", "transactions at or above the slow threshold", &rm.tracer.Slow)
 	}
+	rm.stages.RegisterOn(reg)
 }
 
 // registerShardMetrics attaches the sharded runtime's per-shard view:

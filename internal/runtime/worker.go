@@ -8,6 +8,7 @@ import (
 	"github.com/caesar-cep/caesar/internal/algebra"
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/plan"
+	"github.com/caesar-cep/caesar/internal/telemetry"
 )
 
 // worker owns a disjoint set of stream partitions and executes their
@@ -133,6 +134,15 @@ func (w *worker) putTxnBuf(b *txnBuf) {
 func (w *worker) loop() {
 	for msg := range w.ch {
 		w.wallNow = 0
+		sp := msg.span
+		var outBase uint64
+		if sp != nil {
+			// Ring wait runs from the dispatcher's hand-off mark to
+			// here: channel queue time behind earlier ticks included.
+			sp.StampSince(telemetry.StageRingWait, time.Now().UnixNano())
+			outBase = w.wm.outputs.Value()
+		}
+		nEvs := 0
 		for i := range msg.buf.txns {
 			txn := &msg.buf.txns[i]
 			ps := txn.part.state
@@ -141,17 +151,26 @@ func (w *worker) loop() {
 				txn.part.state = ps
 			}
 			w.wm.txns.Inc()
+			nEvs += len(txn.buf.evs)
 			if w.timed {
 				w.execsInTxn = 0
 				start := time.Now()
 				ps.exec(w, msg.ts, txn.buf.evs)
 				d := time.Since(start)
 				w.wm.txnLatency.ObserveDuration(d)
-				w.rm.tracer.Record(d, txn.part.key, int64(msg.ts), w.execsInTxn, len(txn.buf.evs))
+				w.rm.tracer.Record(d, txn.part.key, int64(msg.ts), w.execsInTxn, len(txn.buf.evs), sp)
 			} else {
 				ps.exec(w, msg.ts, txn.buf.evs)
 			}
 			w.putEventBuf(txn.buf)
+		}
+		if sp != nil {
+			sp.SetCounts(len(msg.buf.txns), nEvs)
+			sp.StampSince(telemetry.StageExec, time.Now().UnixNano())
+			// outputs is single-writer (this goroutine), so the delta
+			// is exactly this tick's emissions on this worker.
+			sp.SetEmitted(int(w.wm.outputs.Value() - outBase))
+			sp.Finish()
 		}
 		w.putTxnBuf(msg.buf)
 		w.completed.Store(int64(msg.ts))

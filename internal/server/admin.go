@@ -8,9 +8,19 @@ import (
 )
 
 // AdminHandler returns the HTTP handler of the server's admin
-// surface: Prometheus-text /metrics, JSON /statusz and /debug/pprof,
-// all backed by the shared telemetry registry.
-func (s *Server) AdminHandler() http.Handler { return telemetry.Handler(s.reg) }
+// surface — /metrics, /statusz, /tracez, /healthz, /buildz and
+// /debug/pprof — backed by the shared telemetry registry, the
+// engine's stage tracer and health probes (each endpoint degrades
+// gracefully when its backing config is unset; see
+// telemetry.NewHandler).
+func (s *Server) AdminHandler() http.Handler {
+	return telemetry.NewHandler(telemetry.Admin{
+		Registry: s.reg,
+		Stages:   s.cfg.Engine.Stages,
+		Health:   s.cfg.Engine.Health,
+		Build:    telemetry.BuildInfo{Config: s.cfg.Engine.Summary()},
+	})
+}
 
 // ServeAdmin serves the admin surface on l until the listener closes.
 // Run it on its own goroutine next to Serve.

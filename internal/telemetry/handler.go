@@ -1,28 +1,79 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 )
 
-// Handler returns the admin HTTP handler for a registry:
+// BuildInfo describes the running binary for /buildz.
+type BuildInfo struct {
+	// Version is the build's version string; empty selects the main
+	// module version from the embedded Go build info.
+	Version string
+	// Config is a flat summary of the effective engine configuration.
+	Config map[string]string
+}
+
+// Admin bundles everything the admin HTTP surface exposes. Any field
+// may be nil/zero: the corresponding endpoint degrades gracefully
+// (nil tracer → {"enabled": false}, nil health → trivially healthy).
+type Admin struct {
+	Registry *Registry
+	Stages   *StageTracer
+	Health   *Health
+	Build    BuildInfo
+}
+
+// NewHandler returns the admin HTTP handler:
 //
 //	/metrics        Prometheus text exposition
 //	/statusz        JSON snapshot of every registered metric
+//	/tracez         stage-trace quantiles + flight-recorder timelines
+//	/healthz        liveness/readiness probes (503 when any fails)
+//	/buildz         version, Go runtime, config summary
 //	/debug/pprof/*  net/http/pprof profiling endpoints
 //
 // Everything is stdlib-only; mount it on a loopback or otherwise
 // access-controlled listener — the pprof endpoints are not meant for
 // the open internet.
-func Handler(r *Registry) http.Handler {
+func NewHandler(a Admin) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = r.WritePrometheus(w)
+		if a.Registry != nil {
+			_ = a.Registry.WritePrometheus(w)
+		}
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		_ = r.WriteJSON(w)
+		if a.Registry != nil {
+			_ = a.Registry.WriteJSON(w)
+		} else {
+			_, _ = w.Write([]byte("{}\n"))
+		}
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = a.Stages.WriteTracez(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		rep := a.Health.Check()
+		if !rep.OK {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rep)
+	})
+	mux.HandleFunc("/buildz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(buildzPayload(a.Build))
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -30,4 +81,42 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// Handler returns the admin handler for a bare registry (the pre-
+// stage-tracing surface, kept for callers that only have metrics).
+func Handler(r *Registry) http.Handler {
+	return NewHandler(Admin{Registry: r})
+}
+
+func buildzPayload(b BuildInfo) map[string]any {
+	version := b.Version
+	vcs := map[string]string{}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if version == "" {
+			version = bi.Main.Version
+		}
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision", "vcs.time", "vcs.modified":
+				vcs[kv.Key] = kv.Value
+			}
+		}
+	}
+	if version == "" {
+		version = "(devel)"
+	}
+	out := map[string]any{
+		"version":    version,
+		"go_version": runtime.Version(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"num_cpu":    runtime.NumCPU(),
+	}
+	if len(vcs) > 0 {
+		out["vcs"] = vcs
+	}
+	if len(b.Config) > 0 {
+		out["config"] = b.Config
+	}
+	return out
 }

@@ -1,0 +1,146 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+func TestHealthProbes(t *testing.T) {
+	var h *Health
+	h.Set("x", nil) // nil-safe
+	rep := h.Check()
+	if !rep.OK || rep.Probes != nil {
+		t.Errorf("nil health = %+v", rep)
+	}
+
+	hl := NewHealth()
+	if rep := hl.Check(); !rep.OK {
+		t.Errorf("empty health unhealthy: %+v", rep)
+	}
+	ok := true
+	hl.Set("engine", func() ProbeResult { return ProbeResult{OK: ok, Detail: "running"} })
+	hl.Set("watermark", func() ProbeResult { return ProbeResult{OK: true} })
+	rep = hl.Check()
+	if !rep.OK || len(rep.Probes) != 2 || rep.Probes["engine"].Detail != "running" {
+		t.Errorf("health = %+v", rep)
+	}
+	ok = false
+	if rep = hl.Check(); rep.OK || rep.Probes["engine"].OK {
+		t.Errorf("failing probe not reported: %+v", rep)
+	}
+	// Set replaces by name (a fresh run re-registers its probes).
+	hl.Set("engine", func() ProbeResult { return ProbeResult{OK: true} })
+	if rep = hl.Check(); !rep.OK {
+		t.Errorf("replaced probe still failing: %+v", rep)
+	}
+}
+
+func TestHandlerHealthz(t *testing.T) {
+	hl := NewHealth()
+	up := true
+	hl.Set("engine", func() ProbeResult {
+		if up {
+			return ProbeResult{OK: true, Detail: "running"}
+		}
+		return ProbeResult{OK: false, Detail: "failed: boom"}
+	})
+	h := NewHandler(Admin{Health: hl})
+
+	code, body := get(t, h, "/healthz")
+	if code != http.StatusOK {
+		t.Errorf("healthy /healthz = %d\n%s", code, body)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("healthz not JSON: %v\n%s", err, body)
+	}
+	if !rep.OK || rep.Probes["engine"].Detail != "running" {
+		t.Errorf("healthz payload = %+v", rep)
+	}
+
+	up = false
+	if code, body = get(t, h, "/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("unhealthy /healthz = %d\n%s", code, body)
+	}
+
+	// Nil health: trivially healthy.
+	code, body = get(t, NewHandler(Admin{}), "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok": true`) {
+		t.Errorf("nil health /healthz = %d\n%s", code, body)
+	}
+}
+
+func TestHandlerBuildz(t *testing.T) {
+	h := NewHandler(Admin{Build: BuildInfo{
+		Version: "v1.2.3",
+		Config:  map[string]string{"shards": "4", "mode": "pattern"},
+	}})
+	code, body := get(t, h, "/buildz")
+	if code != http.StatusOK {
+		t.Fatalf("/buildz = %d", code)
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("buildz not JSON: %v\n%s", err, body)
+	}
+	if got["version"] != "v1.2.3" {
+		t.Errorf("version = %v", got["version"])
+	}
+	if gv, _ := got["go_version"].(string); !strings.HasPrefix(gv, "go") {
+		t.Errorf("go_version = %v", got["go_version"])
+	}
+	if _, ok := got["gomaxprocs"].(float64); !ok {
+		t.Errorf("gomaxprocs = %v", got["gomaxprocs"])
+	}
+	cfg, _ := got["config"].(map[string]any)
+	if cfg["shards"] != "4" {
+		t.Errorf("config = %v", got["config"])
+	}
+
+	// Empty build info still answers with the Go runtime facts.
+	code, body = get(t, NewHandler(Admin{}), "/buildz")
+	if code != http.StatusOK || !strings.Contains(body, "go_version") {
+		t.Errorf("empty /buildz = %d\n%s", code, body)
+	}
+}
+
+func TestHandlerTracez(t *testing.T) {
+	tr := NewStageTracer(1, 8)
+	sp := tr.Start(3, 0)
+	sp.Stamp(StageExec, 999)
+	sp.Finish()
+	code, body := get(t, NewHandler(Admin{Stages: tr}), "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, `"exec"`) {
+		t.Errorf("/tracez = %d\n%s", code, body)
+	}
+	// Unconfigured tracer reports disabled rather than 404ing.
+	code, body = get(t, NewHandler(Admin{}), "/tracez")
+	if code != http.StatusOK || !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("nil /tracez = %d\n%s", code, body)
+	}
+}
+
+func TestHandlerCompatibilityWrapper(t *testing.T) {
+	r := NewRegistry()
+	var c Counter
+	c.Add(5)
+	r.Register("compat_total", "", &c)
+	code, body := get(t, Handler(r), "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "compat_total 5") {
+		t.Errorf("/metrics = %d\n%s", code, body)
+	}
+	if code, _ := get(t, Handler(r), "/healthz"); code != http.StatusOK {
+		t.Errorf("wrapper /healthz = %d", code)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// ProbeResult is one health probe's verdict.
+type ProbeResult struct {
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Probe computes a point-in-time health verdict. Probes run on the
+// /healthz scrape path and must be safe to call concurrently with the
+// producer they observe (atomic loads, channel length reads).
+type Probe func() ProbeResult
+
+// Health is a named set of liveness/readiness probes backing
+// /healthz. The runtime registers probes per run (engine running,
+// watermark advancing, shards draining); Set replaces by name, so a
+// long-lived server always reports the most recently started run —
+// mirroring the registry's replace-on-collision registration.
+//
+// A nil *Health is a valid no-op for Set, so producers register
+// unconditionally.
+type Health struct {
+	mu     sync.Mutex
+	order  []string
+	probes map[string]Probe
+}
+
+// NewHealth returns an empty probe set.
+func NewHealth() *Health {
+	return &Health{probes: map[string]Probe{}}
+}
+
+// Set registers or replaces the named probe. First registration fixes
+// the name's position in the report order.
+func (h *Health) Set(name string, p Probe) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if _, ok := h.probes[name]; !ok {
+		h.order = append(h.order, name)
+	}
+	h.probes[name] = p
+	h.mu.Unlock()
+}
+
+// HealthReport is the /healthz payload: the conjunction of all probes
+// plus each probe's verdict, in registration order.
+type HealthReport struct {
+	OK     bool                   `json:"ok"`
+	Probes map[string]ProbeResult `json:"probes,omitempty"`
+}
+
+// Check runs every probe. A nil or empty Health is healthy (an engine
+// with nothing registered has nothing to be unhealthy about).
+func (h *Health) Check() HealthReport {
+	rep := HealthReport{OK: true}
+	if h == nil {
+		return rep
+	}
+	h.mu.Lock()
+	names := make([]string, len(h.order))
+	copy(names, h.order)
+	probes := make([]Probe, len(names))
+	for i, n := range names {
+		probes[i] = h.probes[n]
+	}
+	h.mu.Unlock()
+	if len(names) == 0 {
+		return rep
+	}
+	rep.Probes = make(map[string]ProbeResult, len(names))
+	for i, n := range names {
+		r := probes[i]()
+		rep.Probes[n] = r
+		if !r.OK {
+			rep.OK = false
+		}
+	}
+	return rep
+}
+
+// WriteHealthz renders the report as indented JSON.
+func (h *Health) WriteHealthz(w io.Writer) (HealthReport, error) {
+	rep := h.Check()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return rep, enc.Encode(rep)
+}

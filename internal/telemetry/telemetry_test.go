@@ -89,8 +89,8 @@ func TestNilRegistryRegister(t *testing.T) {
 func TestTracer(t *testing.T) {
 	var b strings.Builder
 	tr := NewTracer(time.Millisecond, &b)
-	tr.Record(100*time.Microsecond, "p1", 7, 3, 10) // fast: counted, not logged
-	tr.Record(5*time.Millisecond, "p2|", 9, 2, 4)   // slow: logged
+	tr.Record(100*time.Microsecond, "p1", 7, 3, 10, nil) // fast: counted, not logged
+	tr.Record(5*time.Millisecond, "p2|", 9, 2, 4, nil)   // slow: logged
 	if tr.Spans.Value() != 2 || tr.Slow.Value() != 1 {
 		t.Errorf("spans=%d slow=%d", tr.Spans.Value(), tr.Slow.Value())
 	}
@@ -104,7 +104,19 @@ func TestTracer(t *testing.T) {
 	}
 
 	var nilTr *Tracer
-	nilTr.Record(time.Second, "x", 1, 1, 1) // no-op, must not panic
+	nilTr.Record(time.Second, "x", 1, 1, 1, nil) // no-op, must not panic
+
+	// A slow record carrying a stage span appends its breakdown.
+	b.Reset()
+	st := NewStageTracer(1, 8)
+	sp := st.Start(9, 0)
+	sp.Stamp(StageRingWait, int64(2*time.Millisecond))
+	sp.Stamp(StageExec, int64(3*time.Millisecond))
+	tr.Record(5*time.Millisecond, "p3", 9, 1, 2, sp)
+	if out := b.String(); !strings.Contains(out, "ring_wait=2ms") || !strings.Contains(out, "exec=3ms") {
+		t.Errorf("slow txn span breakdown missing: %q", out)
+	}
+	sp.Finish()
 }
 
 // TestRegistryConcurrentScrape hammers counters, gauges and

@@ -37,8 +37,11 @@ func NewTracer(threshold time.Duration, w io.Writer) *Tracer {
 // Record registers one transaction span of duration d. partition is
 // the stream partition key, tick the application timestamp of the
 // transaction, plans the number of plan instances executed and
-// events the transaction's batch size.
-func (t *Tracer) Record(d time.Duration, partition string, tick int64, plans, events int) {
+// events the transaction's batch size. sp, when non-nil, is the
+// tick's stage span: slow-transaction lines then carry the per-stage
+// breakdown observed so far (decode/queue/route/ring-wait), placing
+// the slow execution in its pipeline context.
+func (t *Tracer) Record(d time.Duration, partition string, tick int64, plans, events int, sp *Span) {
 	if t == nil {
 		return
 	}
@@ -51,7 +54,7 @@ func (t *Tracer) Record(d time.Duration, partition string, tick int64, plans, ev
 		return
 	}
 	t.mu.Lock()
-	fmt.Fprintf(t.w, "telemetry: slow txn partition=%s tick=%d plans=%d events=%d dur=%s\n",
-		partition, tick, plans, events, d)
+	fmt.Fprintf(t.w, "telemetry: slow txn partition=%s tick=%d plans=%d events=%d dur=%s%s\n",
+		partition, tick, plans, events, d, sp.appendStages(nil))
 	t.mu.Unlock()
 }

@@ -17,6 +17,15 @@ fi
 echo "== go vet ./..."
 go vet ./...
 
+# staticcheck is optional tooling: gate on it when present, skip
+# gracefully (with a note) when the box doesn't have it installed.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping"
+fi
+
 echo "== go build ./..."
 go build ./...
 
@@ -57,6 +66,13 @@ check_zero_allocs 'BenchmarkDistributor$' ./internal/runtime/
 check_zero_allocs 'BenchmarkShardRouter$' ./internal/runtime/
 check_zero_allocs 'BenchmarkSpscRing$' ./internal/runtime/
 check_zero_allocs 'BenchmarkIngestReader$' ./internal/event/
+
+# PR 8: the dispatch-bound hot paths must stay allocation-free with
+# the stage tracer enabled at sample rate 1 (every tick spanned) —
+# pooled spans, seqlock recorder slots and atomic histograms only.
+echo "== bench guard (0 allocs/op with stage tracing enabled)"
+check_zero_allocs 'BenchmarkDistributorTraced$' ./internal/runtime/
+check_zero_allocs 'BenchmarkEngineShardedTraced$' ./internal/runtime/
 
 # Kernel differential under the race detector, at higher counts than
 # the suite-wide pass: the shared-run automaton must stay emission-
