@@ -1,4 +1,4 @@
-.PHONY: ci test race bench bench-distributor bench-pattern experiments
+.PHONY: ci test race bench bench-distributor bench-pattern memprofile experiments
 
 # CI-grade verify: vet + build + full test suite under the race
 # detector (see scripts/ci.sh).
@@ -24,6 +24,15 @@ bench-distributor:
 # 0 allocs/op); scripts/bench.sh renders the JSON report.
 bench-pattern:
 	go test -run '^$$' -bench 'BenchmarkPattern' -benchmem ./internal/algebra/
+
+# Allocation profile of the end-to-end context-aware workload: runs
+# the benchmark with -memprofile and prints the top allocation sites
+# by object count (how the 849-allocs/op derived-event tail was
+# found; see DESIGN.md §3.8).
+memprofile:
+	go test -run '^$$' -bench 'BenchmarkEngineContextAware$$' -benchtime=10x \
+		-memprofile mem.out -o caesar.test .
+	go tool pprof -top -nodecount=20 -sample_index=alloc_objects caesar.test mem.out
 
 experiments:
 	go run ./cmd/experiments -fig all -scale quick

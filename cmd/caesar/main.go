@@ -40,6 +40,7 @@ func main() {
 	pacing := flag.Duration("pacing", 0, "wall time per application time unit (0 = as fast as possible)")
 	readAhead := flag.Int("read-ahead", 0, "ingest read-ahead ring depth in batches (0 = default)")
 	noPipeline := flag.Bool("no-pipeline", false, "disable the pipelined ingest path (decode inline with dispatch)")
+	heapDerived := flag.Bool("heap-derived", false, "construct derived events on the GC heap instead of the worker slab arenas")
 	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
 	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
 	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
@@ -69,15 +70,16 @@ func main() {
 		keys = strings.Split(*partitionBy, ",")
 	}
 	engCfg := core.Config{
-		ContextIndependent: *baseline,
-		Sharing:            *share,
-		DisablePushDown:    *noPushdown,
-		PartitionBy:        keys,
-		Workers:            *workers,
-		Shards:             *shards,
-		Pacing:             *pacing,
-		ReadAhead:          *readAhead,
-		DisablePipeline:    *noPipeline,
+		ContextIndependent:  *baseline,
+		Sharing:             *share,
+		DisablePushDown:     *noPushdown,
+		PartitionBy:         keys,
+		Workers:             *workers,
+		Shards:              *shards,
+		Pacing:              *pacing,
+		ReadAhead:           *readAhead,
+		DisablePipeline:     *noPipeline,
+		DisableDerivedArena: *heapDerived,
 	}
 	if *traceSample > 0 {
 		engCfg.Stages = telemetry.NewStageTracer(*traceSample, 0)

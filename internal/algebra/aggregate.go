@@ -19,10 +19,14 @@ type Aggregate struct {
 	specs []model.AggSpec
 	width int64
 
-	open    bool
-	winIdx  int64 // window index: window k covers [k*width, (k+1)*width)
-	count   int64
-	sums    []float64
+	open   bool
+	winIdx int64 // window index: window k covers [k*width, (k+1)*width)
+	count  int64
+	sums   []float64
+	// mins/maxs/lasts are adjacent spec-length views of vals, one
+	// backing array, so openWindow clears all three with a single
+	// range loop (one memclr) instead of three.
+	vals    []event.Value
 	mins    []event.Value
 	maxs    []event.Value
 	lasts   []event.Value
@@ -62,37 +66,39 @@ func NewAggregate(out *event.Schema, specs []model.AggSpec, width int64) (*Aggre
 		}
 	}
 	n := len(specs)
+	vals := make([]event.Value, 3*n)
 	return &Aggregate{
 		out:   out,
 		specs: specs,
 		width: width,
 		sums:  make([]float64, n),
-		mins:  make([]event.Value, n),
-		maxs:  make([]event.Value, n),
-		lasts: make([]event.Value, n),
+		vals:  vals,
+		mins:  vals[0*n : 1*n : 1*n],
+		maxs:  vals[1*n : 2*n : 2*n],
+		lasts: vals[2*n : 3*n : 3*n],
 	}, nil
 }
 
-// Advance flushes every window that ends at or before now, appending
-// the derived events to out. Call once per transaction before
-// Process.
-func (a *Aggregate) Advance(now event.Time, out []*event.Event) []*event.Event {
+// Advance flushes every window that ends at or before now, taking
+// output records from alloc and appending the derived events to out.
+// Call once per transaction before Process.
+func (a *Aggregate) Advance(now event.Time, alloc event.Allocator, out []*event.Event) []*event.Event {
 	if a.open && int64(now) >= (a.winIdx+1)*a.width {
-		out = append(out, a.flush())
+		out = append(out, a.flush(alloc))
 	}
 	return out
 }
 
 // Process folds matches into the current window, flushing completed
 // windows as later matches arrive.
-func (a *Aggregate) Process(matches []*Match, out []*event.Event) []*event.Event {
+func (a *Aggregate) Process(matches []*Match, alloc event.Allocator, out []*event.Event) []*event.Event {
 	for _, m := range matches {
 		k := int64(m.Time.End) / a.width
 		if m.Time.End < 0 {
 			k = (int64(m.Time.End) - a.width + 1) / a.width
 		}
 		if a.open && k != a.winIdx {
-			out = append(out, a.flush())
+			out = append(out, a.flush(alloc))
 		}
 		if !a.open {
 			a.openWindow(k)
@@ -113,11 +119,13 @@ func (a *Aggregate) openWindow(k int64) {
 	a.winIdx = k
 	a.count = 0
 	a.arrival = 0
-	for i := range a.specs {
+	for i := range a.sums {
 		a.sums[i] = 0
-		a.mins[i] = event.Value{}
-		a.maxs[i] = event.Value{}
-		a.lasts[i] = event.Value{}
+	}
+	// One clear over the shared backing array zeroes mins, maxs and
+	// lasts together (the compiler lowers this loop to a memclr).
+	for i := range a.vals {
+		a.vals[i] = event.Value{}
 	}
 }
 
@@ -152,8 +160,10 @@ func (a *Aggregate) fold(m *Match) {
 	}
 }
 
-func (a *Aggregate) flush() *event.Event {
-	values := make([]event.Value, len(a.specs))
+func (a *Aggregate) flush(alloc event.Allocator) *event.Event {
+	end := event.Time((a.winIdx+1)*a.width - 1)
+	e := alloc.Alloc(a.out, event.Point(end), len(a.specs))
+	e.Arrival = a.arrival
 	for i, s := range a.specs {
 		var v event.Value
 		switch s.Kind {
@@ -177,14 +187,8 @@ func (a *Aggregate) flush() *event.Event {
 		if a.out.Field(i).Kind == event.KindFloat && v.Kind == event.KindInt {
 			v = event.Float64(float64(v.Int))
 		}
-		values[i] = v
+		e.Values[i] = v
 	}
-	end := event.Time((a.winIdx+1)*a.width - 1)
 	a.open = false
-	return &event.Event{
-		Schema:  a.out,
-		Time:    event.Point(end),
-		Arrival: a.arrival,
-		Values:  values,
-	}
+	return e
 }

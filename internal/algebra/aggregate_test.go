@@ -49,12 +49,12 @@ func TestAggregateWindowing(t *testing.T) {
 	// Window 0 = [0, 60): values 10, 30, 20.
 	out = a.Process([]*Match{
 		rEvent(t, m, 5, 10), rEvent(t, m, 20, 30), rEvent(t, m, 59, 20),
-	}, out)
+	}, event.HeapAlloc{}, out)
 	if len(out) != 0 || !a.Pending() {
 		t.Fatalf("premature flush: %v", out)
 	}
 	// A match in window 1 flushes window 0.
-	out = a.Process([]*Match{rEvent(t, m, 61, 7)}, out)
+	out = a.Process([]*Match{rEvent(t, m, 61, 7)}, event.HeapAlloc{}, out)
 	if len(out) != 1 {
 		t.Fatalf("flush count = %d", len(out))
 	}
@@ -80,12 +80,12 @@ func TestAggregateWindowing(t *testing.T) {
 func TestAggregateAdvanceFlushes(t *testing.T) {
 	a, m := newAgg(t)
 	var out []*event.Event
-	out = a.Process([]*Match{rEvent(t, m, 5, 10)}, out)
-	out = a.Advance(59, out)
+	out = a.Process([]*Match{rEvent(t, m, 5, 10)}, event.HeapAlloc{}, out)
+	out = a.Advance(59, event.HeapAlloc{}, out)
 	if len(out) != 0 {
 		t.Fatal("flushed before window end")
 	}
-	out = a.Advance(60, out)
+	out = a.Advance(60, event.HeapAlloc{}, out)
 	if len(out) != 1 || !out[0].Time.Contains(59) {
 		t.Fatalf("advance flush = %v", out)
 	}
@@ -93,7 +93,7 @@ func TestAggregateAdvanceFlushes(t *testing.T) {
 		t.Error("window still open after flush")
 	}
 	// No double flush.
-	if out = a.Advance(200, out); len(out) != 1 {
+	if out = a.Advance(200, event.HeapAlloc{}, out); len(out) != 1 {
 		t.Fatal("empty window flushed")
 	}
 }
@@ -101,13 +101,13 @@ func TestAggregateAdvanceFlushes(t *testing.T) {
 func TestAggregateSkipsEmptyWindows(t *testing.T) {
 	a, m := newAgg(t)
 	var out []*event.Event
-	out = a.Process([]*Match{rEvent(t, m, 5, 1)}, out)
+	out = a.Process([]*Match{rEvent(t, m, 5, 1)}, event.HeapAlloc{}, out)
 	// Jump three windows ahead: only window 0 flushes.
-	out = a.Process([]*Match{rEvent(t, m, 200, 2)}, out)
+	out = a.Process([]*Match{rEvent(t, m, 200, 2)}, event.HeapAlloc{}, out)
 	if len(out) != 1 {
 		t.Fatalf("flushes = %d", len(out))
 	}
-	out = a.Advance(500, out)
+	out = a.Advance(500, event.HeapAlloc{}, out)
 	if len(out) != 2 {
 		t.Fatalf("final flushes = %d", len(out))
 	}
@@ -118,12 +118,12 @@ func TestAggregateSkipsEmptyWindows(t *testing.T) {
 
 func TestAggregateReset(t *testing.T) {
 	a, m := newAgg(t)
-	a.Process([]*Match{rEvent(t, m, 5, 1)}, nil)
+	a.Process([]*Match{rEvent(t, m, 5, 1)}, event.HeapAlloc{}, nil)
 	a.Reset()
 	if a.Pending() {
 		t.Error("pending after reset")
 	}
-	if out := a.Advance(1000, nil); len(out) != 0 {
+	if out := a.Advance(1000, event.HeapAlloc{}, nil); len(out) != 0 {
 		t.Errorf("reset window flushed: %v", out)
 	}
 }
@@ -162,8 +162,8 @@ TUMBLE 10
 		e := event.MustNew(s, ts, event.Int64(speed))
 		return &Match{Binding: []*event.Event{e}, Time: e.Time}
 	}
-	out := a.Process([]*Match{mk(1, 0), mk(2, 50), mk(3, 0)}, nil)
-	out = a.Advance(10, out)
+	out := a.Process([]*Match{mk(1, 0), mk(2, 50), mk(3, 0)}, event.HeapAlloc{}, nil)
+	out = a.Advance(10, event.HeapAlloc{}, out)
 	if len(out) != 1 {
 		t.Fatalf("flushes = %d", len(out))
 	}

@@ -55,23 +55,21 @@ func NewProject(out *event.Schema, args []*predicate.Compiled) (*Project, error)
 	return &Project{out: out, args: args}, nil
 }
 
-// Process derives one event per match and appends it to out.
-func (p *Project) Process(in []*Match, out []*event.Event) []*event.Event {
+// Process derives one event per match, taking each record from
+// alloc, and appends it to out. Every Values slot is assigned, so the
+// allocator's no-zeroing contract is satisfied.
+func (p *Project) Process(in []*Match, alloc event.Allocator, out []*event.Event) []*event.Event {
 	for _, m := range in {
-		values := make([]event.Value, len(p.args))
+		e := alloc.Alloc(p.out, m.Time, len(p.args))
+		e.Arrival = m.Arrival
 		for i, a := range p.args {
 			v := a.Eval(m.Binding)
 			if p.out.Field(i).Kind == event.KindFloat && v.Kind == event.KindInt {
 				v = event.Float64(float64(v.Int))
 			}
-			values[i] = v
+			e.Values[i] = v
 		}
-		out = append(out, &event.Event{
-			Schema:  p.out,
-			Time:    m.Time,
-			Arrival: m.Arrival,
-			Values:  values,
-		})
+		out = append(out, e)
 	}
 	return out
 }

@@ -73,7 +73,7 @@ func TestProjectOp(t *testing.T) {
 	}
 	e := event.MustNew(a, 7, event.Int64(42), event.Int64(1))
 	e.Arrival = 999
-	out := pr.Process([]*Match{mkMatch(e)}, nil)
+	out := pr.Process([]*Match{mkMatch(e)}, event.HeapAlloc{}, nil)
 	if len(out) != 1 {
 		t.Fatal("no projection output")
 	}

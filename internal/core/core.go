@@ -72,6 +72,14 @@ type Config struct {
 	LegacyPatternKernel bool
 	// CollectOutputs retains derived events in Stats.Outputs.
 	CollectOutputs bool
+	// DisableDerivedArena constructs derived events on the GC heap
+	// instead of the per-execution-unit slab arena (see
+	// runtime.Config.DisableDerivedArena for the retention contract of
+	// OnOutput events under the arena).
+	DisableDerivedArena bool
+	// DerivedChunkEvents sizes the derived-event arena's slabs, in
+	// events; 0 picks the default.
+	DerivedChunkEvents int
 	// OnOutput receives every derived event; called concurrently
 	// from worker goroutines.
 	OnOutput func(*event.Event)
@@ -113,6 +121,9 @@ func (c Config) Summary() map[string]string {
 	}
 	if c.LegacyPatternKernel {
 		s["legacy_kernel"] = "true"
+	}
+	if c.DisableDerivedArena {
+		s["derived_arena"] = "false"
 	}
 	if c.Stages != nil {
 		s["trace_sample_rate"] = strconv.Itoa(c.Stages.SampleRate())
@@ -168,6 +179,9 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 		Tracer:          cfg.Tracer,
 		Stages:          cfg.Stages,
 		Health:          cfg.Health,
+
+		DisableDerivedArena: cfg.DisableDerivedArena,
+		DerivedChunkEvents:  cfg.DerivedChunkEvents,
 	})
 	if err != nil {
 		return nil, err

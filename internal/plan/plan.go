@@ -295,9 +295,11 @@ func (in *Instance) Active() bool {
 // Exec runs one stream transaction through the plan: Advance expires
 // state and flushes trailing negations, Process consumes the batch,
 // then filters, the context window check (non-optimized shape) and
-// the final projection or context action run. It appends derived
-// events to evOut and transitions to trOut and returns both.
-func (in *Instance) Exec(now event.Time, batch []*event.Event, evOut []*event.Event, trOut []algebra.Transition) ([]*event.Event, []algebra.Transition) {
+// the final projection or context action run. Derived-event records
+// are taken from alloc (the runtime passes its per-worker arena; pass
+// event.HeapAlloc{} for GC-managed output). It appends derived events
+// to evOut and transitions to trOut and returns both.
+func (in *Instance) Exec(now event.Time, batch []*event.Event, alloc event.Allocator, evOut []*event.Event, trOut []algebra.Transition) ([]*event.Event, []algebra.Transition) {
 	if in.gate != nil {
 		batch = in.gate.Process(batch)
 		if batch == nil {
@@ -307,7 +309,7 @@ func (in *Instance) Exec(now event.Time, batch []*event.Event, evOut []*event.Ev
 	if in.agg != nil {
 		// Flush aggregation windows that closed before this
 		// transaction so downstream plans consume the results now.
-		evOut = in.agg.Advance(now, evOut)
+		evOut = in.agg.Advance(now, alloc, evOut)
 	}
 	matches := in.pattern.Advance(now, in.matchScratch[:0])
 	matches = in.pattern.Process(batch, matches)
@@ -329,10 +331,10 @@ func (in *Instance) Exec(now event.Time, batch []*event.Event, evOut []*event.Ev
 	}
 	if len(matches) > 0 {
 		for _, pr := range in.projects {
-			evOut = pr.Process(matches, evOut)
+			evOut = pr.Process(matches, alloc, evOut)
 		}
 		if in.agg != nil {
-			evOut = in.agg.Process(matches, evOut)
+			evOut = in.agg.Process(matches, alloc, evOut)
 		}
 		if in.action != nil {
 			trOut = in.action.Process(now, matches, trOut)

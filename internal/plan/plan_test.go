@@ -138,7 +138,7 @@ func runToll(t *testing.T, opts Options, withRouting bool) []*event.Event {
 				continue
 			}
 			var derived []*event.Event
-			derived, trans = inst.Exec(now, pool, nil, trans)
+			derived, trans = inst.Exec(now, pool, event.HeapAlloc{}, nil, trans)
 			if len(derived) > 0 {
 				pool = append(append([]*event.Event(nil), pool...), derived...)
 				outputs = append(outputs, derived...)
@@ -216,7 +216,7 @@ func runTollStream(t *testing.T, opts Options, withRouting bool, mkStream func(r
 				continue
 			}
 			var derived []*event.Event
-			derived, trans = inst.Exec(now, pool, nil, trans)
+			derived, trans = inst.Exec(now, pool, event.HeapAlloc{}, nil, trans)
 			if len(derived) > 0 {
 				pool = append(append([]*event.Event(nil), pool...), derived...)
 				outputs = append(outputs, derived...)
@@ -325,7 +325,7 @@ func TestInstanceResetDropsHistory(t *testing.T) {
 	}
 	pr, _ := m.Registry.Lookup("PositionReport")
 	e := event.MustNew(pr, 10, event.Int64(1), event.Int64(1), event.Int64(10))
-	inst.Exec(10, []*event.Event{e}, nil, nil)
+	inst.Exec(10, []*event.Event{e}, event.HeapAlloc{}, nil, nil)
 	if f := inst.Footprint(); f.NegBuffered == 0 {
 		t.Fatal("negation buffer empty after event")
 	}

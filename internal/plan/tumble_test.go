@@ -61,7 +61,7 @@ func TestTumbleInstanceEndToEnd(t *testing.T) {
 		pool := batch
 		for _, in := range insts {
 			var derived []*event.Event
-			derived, _ = in.Exec(now, pool, nil, nil)
+			derived, _ = in.Exec(now, pool, event.HeapAlloc{}, nil, nil)
 			if len(derived) > 0 {
 				pool = append(append([]*event.Event(nil), pool...), derived...)
 				outputs = append(outputs, derived...)
@@ -114,10 +114,10 @@ func TestTumbleInstanceReset(t *testing.T) {
 	}
 	ps, _ := m.Registry.Lookup("P")
 	e := event.MustNew(ps, 1, event.Int64(1), event.Int64(5), event.Int64(1))
-	in.Exec(1, []*event.Event{e}, nil, nil)
+	in.Exec(1, []*event.Event{e}, event.HeapAlloc{}, nil, nil)
 	in.Reset()
 	// The open window was discarded: advancing past it derives nothing.
-	derived, _ := in.Exec(50, nil, nil, nil)
+	derived, _ := in.Exec(50, nil, event.HeapAlloc{}, nil, nil)
 	if len(derived) != 0 {
 		t.Errorf("reset window still flushed: %v", derived)
 	}

@@ -104,6 +104,18 @@ type Config struct {
 	DisablePipeline bool
 	// CollectOutputs retains all derived events in Stats.Outputs.
 	CollectOutputs bool
+	// DisableDerivedArena routes derived-event construction to the GC
+	// heap instead of the per-execution-unit slab arena (DESIGN.md
+	// §3.8). The arena path is differentially tested against this one.
+	// With the arena on (the default), events handed to OnOutput are
+	// valid for the duration of the callback and until their tick falls
+	// behind the reclamation watermark; consumers that retain events
+	// beyond that must copy them (event.Clone). Stats.Outputs is always
+	// safe: collected events are cloned to the heap at emit time.
+	DisableDerivedArena bool
+	// DerivedChunkEvents sizes the derived-event arena's slabs, in
+	// events; 0 means event.DefaultChunkEvents.
+	DerivedChunkEvents int
 	// OnOutput, when set, is invoked for every derived output event.
 	// On the legacy pipeline it is called concurrently from worker
 	// goroutines; on the sharded runtime (Shards > 1) it is called
@@ -206,6 +218,15 @@ type Engine struct {
 	// queryNames labels the per-query metric families; indexed by
 	// execUnit.qmIdx (one slot per distinct query across groups).
 	queryNames []string
+
+	// legacyRun and shardedCached cache run scaffolding across Run
+	// calls — worker pools, shards, metric sets, partition tables,
+	// arenas. A later Run with the same engine reuses and resets them
+	// instead of rebuilding, so steady-state re-runs allocate only
+	// per-run incidentals; a failed run drops its cache (its rings and
+	// buffers may be in a partial state).
+	legacyRun     *run
+	shardedCached *shardedRun
 }
 
 // execUnit is one instantiable query plan with its effective context
@@ -394,8 +415,14 @@ func (e *Engine) Groups() (groups, instances int) {
 }
 
 // Run executes the engine over a source until exhaustion and returns
-// the run's statistics. Engines are single-run: partition state is
-// rebuilt on each call.
+// the run's statistics. Run may be called repeatedly on the same
+// engine — each call starts from fresh logical state (context
+// vectors, pattern state and progress marks are reset), while the
+// scaffolding (worker pools, partition tables, rings, arenas) is
+// retained and reused. Calls must not overlap; with the derived-event
+// arena on, outputs observed through OnOutput are valid only within
+// the watermark window (see Config.DisableDerivedArena) and
+// Stats.Outputs of a previous call remains valid across later calls.
 //
 // Sources implementing event.BatchSource (SliceSource, event.Reader,
 // linearroad.Stream) feed the pipelined ingest path: decode runs on
@@ -416,7 +443,7 @@ func (e *Engine) Run(src event.Source) (*Stats, error) {
 // dispatch on one goroutine, one event at a time. It anchors the
 // differential tests for the pipelined path.
 func (e *Engine) runSync(src event.Source) (*Stats, error) {
-	r := e.newRun(nil)
+	r := e.newRun()
 	var tick []*event.Event
 	var curTS event.Time
 	var orderErr error

@@ -39,6 +39,15 @@ type runHealth struct {
 	lastSeen atomic.Int64
 }
 
+// reset rearms a cached run's health state for its next execution.
+// Only reached from clean-run reuse (a failed run drops the run
+// cache), so failMsg is never populated here.
+func (rh *runHealth) reset() {
+	rh.routed.Store(math.MinInt64)
+	rh.done.Store(false)
+	rh.lastSeen.Store(math.MaxInt64)
+}
+
 // finish marks the run complete, recording the error if any.
 func (rh *runHealth) finish(err error) {
 	if rh == nil {

@@ -46,18 +46,34 @@ type batchRing struct {
 	data chan *event.Batch
 	free chan *event.Batch
 	done chan struct{}
+	// all owns the ring's batch structs so arm can rebuild the free
+	// side across runs, keeping each batch's grown Events capacity.
+	all []*event.Batch
 }
 
 func newBatchRing(n int) *batchRing {
-	r := &batchRing{
-		data: make(chan *event.Batch, n),
-		free: make(chan *event.Batch, n),
-		done: make(chan struct{}),
+	r := &batchRing{all: make([]*event.Batch, n)}
+	for i := range r.all {
+		r.all[i] = &event.Batch{}
 	}
-	for i := 0; i < n; i++ {
-		r.free <- &event.Batch{}
-	}
+	r.arm()
 	return r
+}
+
+// arm readies the ring for a run. Only the channels are rebuilt (the
+// data channel is closed by the decoder at end of stream; the done
+// channel by an abort); the batch structs and their event-slice
+// capacity carry over, so a cached run's decode path does not regrow
+// its read-ahead buffers.
+func (r *batchRing) arm() {
+	n := len(r.all)
+	r.data = make(chan *event.Batch, n)
+	r.free = make(chan *event.Batch, n)
+	r.done = make(chan struct{})
+	for _, b := range r.all {
+		b.Events = b.Events[:0]
+		r.free <- b
+	}
 }
 
 // acquire blocks for a recycled batch struct; false after abort.
@@ -113,45 +129,62 @@ type run struct {
 	// dispatch goroutine, read by the decode goroutine.
 	watermark atomic.Int64
 
+	// ring is the read-ahead ring of the batch path, rearmed (not
+	// rebuilt) across cached runs.
+	ring *batchRing
+
 	// health backs the run's /healthz probes (runtime health.go).
 	health *runHealth
 }
 
-func (e *Engine) newRun(ringDepth func() int64) *run {
-	r := &run{e: e, start: time.Now(), rm: newRunMetrics(e, e.cfg.Workers)}
-	r.rm.ringDepth = ringDepth
-	r.workers = make([]*worker, e.cfg.Workers)
-	for i := range r.workers {
-		r.workers[i] = newWorker(e, i, r.rm)
+func (e *Engine) newRun() *run {
+	r := e.legacyRun
+	if r == nil {
+		r = &run{e: e, rm: newRunMetrics(e, e.cfg.Workers)}
+		r.workers = make([]*worker, e.cfg.Workers)
+		for i := range r.workers {
+			r.workers[i] = newWorker(e, i, r.rm)
+		}
+		r.dist = newDistributor(r.workers, e.cfg.PartitionBy)
+		r.dist.rm = r.rm
+		r.dist.stages = r.rm.stages
+		e.legacyRun = r
+	} else {
+		r.reset()
+	}
+	r.start = time.Now()
+	spawn := func(w *worker) {
+		defer r.wg.Done()
+		w.loop()
+	}
+	for _, w := range r.workers {
 		r.wg.Add(1)
-		go func(w *worker) {
-			defer r.wg.Done()
-			w.loop()
-		}(r.workers[i])
+		go spawn(w)
 	}
 	r.rm.register(e.cfg.Telemetry, e, r.workers)
-	r.dist = newDistributor(r.workers, e.cfg.PartitionBy)
-	r.dist.rm = r.rm
-	r.dist.stages = r.rm.stages
 	r.watermark.Store(math.MinInt64)
-	workers := r.workers
-	r.health = registerRunHealth(e.cfg.Health, "workers",
-		func() int64 {
-			max := int64(math.MinInt64)
-			for _, w := range workers {
-				if c := w.completed.Load(); c > max {
-					max = c
+	if e.cfg.Health != nil || r.health == nil {
+		workers := r.workers
+		r.health = registerRunHealth(e.cfg.Health, "workers",
+			func() int64 {
+				max := int64(math.MinInt64)
+				for _, w := range workers {
+					if c := w.completed.Load(); c > max {
+						max = c
+					}
 				}
-			}
-			return max
-		},
-		func() int64 {
-			var n int64
-			for _, w := range workers {
-				n += w.queueDepth()
-			}
-			return n
-		})
+				return max
+			},
+			func() int64 {
+				var n int64
+				for _, w := range workers {
+					n += w.queueDepth()
+				}
+				return n
+			})
+	} else {
+		r.health.reset()
+	}
 	return r
 }
 
@@ -173,10 +206,33 @@ func (r *run) dispatchTick(ts event.Time, evs []*event.Event) {
 	r.health.routed.Store(int64(ts))
 }
 
-// shutdown closes the worker channels and waits for drain.
+// reset rearms a cached run for its next execution: metrics rewound,
+// workers and partition state restored to their pre-run condition.
+// The partition table and all buffer capacity are retained — that
+// retention is what run reuse amortizes. Only called after a clean
+// run (a failed run drops the cache).
+func (r *run) reset() {
+	r.rm.reset()
+	r.rm.ringDepth = nil // the batch path re-sets it against its ring
+	r.appStartSet = false
+	r.haveLast = false
+	r.dist.pipeline = false
+	for _, w := range r.workers {
+		w.resetForRun()
+	}
+	for _, p := range r.dist.table {
+		p.batch = nil
+		if p.state != nil {
+			p.state.reset(r.e)
+		}
+	}
+}
+
+// shutdown stops the workers with a sentinel message (the channels
+// stay open so a cached run can reuse them) and waits for drain.
 func (r *run) shutdown() {
 	for _, w := range r.workers {
-		close(w.ch)
+		w.ch <- txnMsg{}
 	}
 	r.wg.Wait()
 }
@@ -191,6 +247,10 @@ func (r *run) finish(src any, runErr error) (*Stats, error) {
 	}
 	r.health.finish(runErr)
 	if runErr != nil {
+		// An aborted run can leave transactions stranded in worker
+		// buffers; drop the scaffolding rather than reason about its
+		// partial state.
+		r.e.legacyRun = nil
 		return nil, runErr
 	}
 	return r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start)), nil
@@ -251,12 +311,18 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 	if e.nShards > 1 {
 		return e.runSharded(src)
 	}
-	n := e.cfg.ReadAhead
-	if n <= 0 {
-		n = defaultReadAhead
+	r := e.newRun()
+	if r.ring == nil {
+		n := e.cfg.ReadAhead
+		if n <= 0 {
+			n = defaultReadAhead
+		}
+		r.ring = newBatchRing(n)
+	} else {
+		r.ring.arm()
 	}
-	ring := newBatchRing(n)
-	r := e.newRun(func() int64 { return int64(len(ring.data)) })
+	ring := r.ring
+	r.rm.ringDepth = func() int64 { return int64(len(ring.data)) }
 	r.dist.pipeline = true
 	rec, _ := src.(event.Reclaimer)
 	slack := e.reclaimSlack()

@@ -16,6 +16,7 @@ package runtime
 
 import (
 	"math"
+	"sync/atomic"
 	"time"
 
 	"github.com/caesar-cep/caesar/internal/event"
@@ -48,6 +49,14 @@ type outputMerger struct {
 
 	wakeCh chan struct{} // nudged by shards after each grant / at exit
 	doneCh chan struct{} // closed when the merger has drained everything
+
+	// released publishes the newest tick whose output is fully
+	// emitted (MinInt64 before the first release). Shards read it to
+	// bound derived-event arena reclamation: an event buffered here
+	// must outlive its tick's ordered release, which can trail the
+	// producing shard's own completion by however far the slowest
+	// shard lags — beyond the watermark slack (DESIGN.md §3.8).
+	released atomic.Int64
 }
 
 func newOutputMerger(shards []*engineShard, out func(*event.Event)) *outputMerger {
@@ -64,8 +73,31 @@ func newOutputMerger(shards []*engineShard, out func(*event.Event)) *outputMerge
 	for i := range shards {
 		m.rings[i] = newSpscRing[outRun](mergeRingDepth)
 		m.free[i] = newSpscRing[[]*event.Event](mergeRingDepth)
+		// Pre-seed the recycling ring so the first few ticks' emission
+		// buffers come from the pool instead of the heap; after that
+		// the released slices themselves keep the pool primed.
+		for n := 0; n < 4; n++ {
+			m.free[i].tryPush(make([]*event.Event, 0, 32))
+		}
 	}
+	m.released.Store(math.MinInt64)
 	return m
+}
+
+// reset rearms a cached merger for the next run. The caller guarantees
+// the previous merger goroutine has exited (waitDone returned) and all
+// shard rings are drained.
+func (m *outputMerger) reset() {
+	m.doneCh = make(chan struct{})
+	m.released.Store(math.MinInt64)
+	select { // drop a stale wake token from the previous run
+	case <-m.wakeCh:
+	default:
+	}
+	for i := range m.pending {
+		m.pending[i] = m.pending[i][:0]
+		m.heads[i] = 0
+	}
 }
 
 // flushTick moves the shard worker's buffered emissions for tick ts
@@ -157,6 +189,9 @@ func (m *outputMerger) release(safe int64) {
 			}
 		}
 		if best < 0 {
+			if safe != math.MaxInt64 && safe > m.released.Load() {
+				m.released.Store(safe)
+			}
 			return
 		}
 		run := m.pending[best][m.heads[best]]

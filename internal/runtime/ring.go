@@ -202,6 +202,13 @@ func (r *spscRing[T]) close() {
 	}
 }
 
+// reopen clears the closed mark so a cached run can reuse the ring
+// for its next execution. The caller guarantees both sides' previous
+// goroutines have exited and the ring is drained; the head/tail
+// indices are monotonic and carry over. A stale wake token at most
+// causes one spurious recheck.
+func (r *spscRing[T]) reopen() { r.closed.Store(false) }
+
 // occupancy reports how many values sit in the ring right now; it is
 // safe to call from any goroutine (scrape-time gauge).
 func (r *spscRing[T]) occupancy() int64 {

@@ -174,6 +174,20 @@ func (s *engineShard) loop() {
 		if s.mrg != nil {
 			s.mrg.wake()
 		}
+		// Reclaim derived-event slabs once per grant: bounded by this
+		// shard's own completion minus the retention slack and — when
+		// the ordered merge layer buffers our output — by the merger's
+		// released tick, which can trail arbitrarily far behind a slow
+		// sibling shard (an unreleased event must stay live).
+		if c := s.completed.Load(); c != math.MinInt64 {
+			bound := c - s.w.slack
+			if s.mrg != nil {
+				if rel := s.mrg.released.Load() + 1; rel < bound {
+					bound = rel
+				}
+			}
+			s.w.reclaimDerived(bound)
+		}
 	}
 	s.done.Store(true)
 	if s.mrg != nil {
@@ -240,11 +254,12 @@ func (s *engineShard) execTick(ts event.Time, evs []*event.Event, sp *telemetry.
 // ordering, pacing, pending grants) plus the shard pool and optional
 // output merger.
 type shardedRun struct {
-	e      *Engine
-	rm     *runMetrics
-	shards []*engineShard
-	wg     sync.WaitGroup
-	mrg    *outputMerger
+	e       *Engine
+	rm      *runMetrics
+	shards  []*engineShard
+	workers []*worker // shards[i].w, in shard order (metrics, collect)
+	wg      sync.WaitGroup
+	mrg     *outputMerger
 
 	keyer
 	smask     uint32
@@ -261,6 +276,10 @@ type shardedRun struct {
 	// the legacy pipeline's (ingest.go).
 	watermark atomic.Int64
 	slack     int64
+
+	// ring is the read-ahead ring of the decode stage, rearmed (not
+	// rebuilt) across cached runs.
+	ring *batchRing
 
 	// Stage tracing (router-goroutine-owned): stages samples ticks,
 	// decodeNs/queueNs carry the current batch's ingest stamps, and
@@ -415,10 +434,11 @@ func (r *shardedRun) publishWatermark() {
 	}
 }
 
-// runSharded executes the engine over a batch source on the sharded
-// runtime. Callers guarantee e.nShards > 1 and the pipelined path.
-func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
-	n := e.nShards
+// newShardedRun builds the run scaffolding that survives across Run
+// calls: the shards and their workers, the run metric set, the
+// router-side keyer, and the optional output merger. Per-run state is
+// armed by reset and the per-run section of runSharded.
+func newShardedRun(e *Engine, n int) *shardedRun {
 	rm := newRunMetrics(e, n)
 	r := &shardedRun{
 		e:       e,
@@ -426,58 +446,121 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 		keyer:   newKeyer(e.cfg.PartitionBy),
 		smask:   powerOfTwoMask(n),
 		pending: make([]*shardMsg, n),
-		start:   time.Now(),
 		slack:   e.reclaimSlack(),
 		stages:  rm.stages,
 	}
 	r.ctrlShard = pickIdx(fnv1a(controlKey), n, r.smask)
-	r.watermark.Store(math.MinInt64)
-
 	r.shards = make([]*engineShard, n)
-	workers := make([]*worker, n)
+	r.workers = make([]*worker, n)
 	for i := 0; i < n; i++ {
 		r.shards[i] = newEngineShard(e, i, rm)
-		workers[i] = r.shards[i].w
+		r.workers[i] = r.shards[i].w
 	}
-	shards := r.shards
-	r.health = registerRunHealth(e.cfg.Health, "shards",
-		func() int64 {
-			max := int64(math.MinInt64)
-			for _, s := range shards {
-				if c := s.completed.Load(); c > max {
-					max = c
-				}
-			}
-			return max
-		},
-		func() int64 {
-			var n int64
-			for _, s := range shards {
-				n += s.in.occupancy()
-			}
-			return n
-		})
 	if e.cfg.OnOutput != nil {
 		r.mrg = newOutputMerger(r.shards, e.cfg.OnOutput)
 		for _, s := range r.shards {
 			s.mrg = r.mrg
 			s.w.merged = true
 		}
+	}
+	return r
+}
+
+// reset rearms a cached sharded run for its next execution: metrics
+// rewound, shard progress marks and rings rearmed, partition state
+// restored to its pre-run condition, the merger rearmed. The partition
+// tables and every scratch/ring/arena capacity are retained — that
+// retention is what run reuse amortizes. Only called after a clean
+// run (an error invalidates the cache), so the rings are drained and
+// every grant message is back on its free ring.
+func (r *shardedRun) reset() {
+	r.rm.reset()
+	r.appStartSet = false
+	r.haveLast = false
+	r.decodeNs, r.queueNs = 0, 0
+	r.tickSpans = r.tickSpans[:0]
+	for _, s := range r.shards {
+		s.completed.Store(math.MinInt64)
+		s.sentTS = math.MinInt64
+		s.done.Store(false)
+		s.in.reopen()
+		s.active = s.active[:0]
+		s.w.resetForRun()
+		for _, p := range s.table {
+			p.batch = nil
+			if p.state != nil {
+				p.state.reset(r.e)
+			}
+		}
+	}
+	if r.mrg != nil {
+		r.mrg.reset()
+	}
+}
+
+// runSharded executes the engine over a batch source on the sharded
+// runtime. Callers guarantee e.nShards > 1 and the pipelined path.
+// The run scaffolding is cached on the Engine and reused by later Run
+// calls, so steady-state re-runs allocate only per-run incidentals
+// (goroutines, the read-ahead ring, registration closures).
+func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
+	n := e.nShards
+	r := e.shardedCached
+	if r == nil {
+		r = newShardedRun(e, n)
+		e.shardedCached = r
+	} else {
+		r.reset()
+	}
+	r.start = time.Now()
+	r.watermark.Store(math.MinInt64)
+	rm := r.rm
+	workers := r.workers
+
+	if e.cfg.Health != nil || r.health == nil {
+		shards := r.shards
+		r.health = registerRunHealth(e.cfg.Health, "shards",
+			func() int64 {
+				max := int64(math.MinInt64)
+				for _, s := range shards {
+					if c := s.completed.Load(); c > max {
+						max = c
+					}
+				}
+				return max
+			},
+			func() int64 {
+				var n int64
+				for _, s := range shards {
+					n += s.in.occupancy()
+				}
+				return n
+			})
+	} else {
+		r.health.reset()
+	}
+	if r.mrg != nil {
 		go r.mrg.loop()
+	}
+	spawn := func(s *engineShard) {
+		defer r.wg.Done()
+		s.loop()
 	}
 	for _, s := range r.shards {
 		r.wg.Add(1)
-		go func(s *engineShard) {
-			defer r.wg.Done()
-			s.loop()
-		}(s)
+		go spawn(s)
 	}
 
-	ra := e.cfg.ReadAhead
-	if ra <= 0 {
-		ra = defaultReadAhead
+	if r.ring == nil {
+		ra := e.cfg.ReadAhead
+		if ra <= 0 {
+			ra = defaultReadAhead
+		}
+		r.ring = newBatchRing(ra)
+	} else {
+		r.ring.arm()
 	}
-	ring := newBatchRing(ra)
+	ring := r.ring
 	rm.ringDepth = func() int64 { return int64(len(ring.data)) }
 	rm.register(e.cfg.Telemetry, e, workers)
 	registerShardMetrics(e.cfg.Telemetry, r.shards)
@@ -521,6 +604,10 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 	}
 	r.health.finish(runErr)
 	if runErr != nil {
+		// An aborted run can leave grants stranded between the router
+		// and the rings; drop the scaffolding rather than reason about
+		// its partial state.
+		e.shardedCached = nil
 		return nil, runErr
 	}
 	partitions := 0

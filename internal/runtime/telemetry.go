@@ -80,6 +80,14 @@ type workerMetrics struct {
 	// txnLatency is the per-worker stream-transaction execution time
 	// in nanoseconds; only fed when txn timing is on (detail mode).
 	txnLatency telemetry.Histogram
+	// Derived-event arena occupancy (DESIGN.md §3.8): lifetime slabs
+	// allocated, sealed slabs awaiting reclamation, and slabs
+	// recycled. Mirrored from the worker-confined arena after each
+	// reclamation pass, so a live scrape reads single-writer atomics,
+	// never the arena's plain counters.
+	derivedChunks    telemetry.Gauge
+	derivedLive      telemetry.Gauge
+	derivedReclaimed telemetry.Counter
 }
 
 // queryMetrics is the per-operator breakdown of one query plan,
@@ -111,6 +119,52 @@ func newRunMetrics(e *Engine, nWorkers int) *runMetrics {
 		rm.workers[i] = &workerMetrics{}
 	}
 	return rm
+}
+
+// reset rewinds every per-run metric so a cached run's Stats cover
+// only the new run. The partitions gauge is deliberately kept: the
+// partition tables persist across runs (that is the point of run
+// reuse), so the gauge keeps reflecting the interned count.
+func (rm *runMetrics) reset() {
+	rm.events.Reset()
+	rm.ticks.Reset()
+	rm.batches.Reset()
+	rm.reclaims.Reset()
+	rm.outputLatency.Reset()
+	for i := range rm.perType {
+		rm.perType[i].Reset()
+	}
+	for i := range rm.ctx {
+		rm.ctx[i].activations.Reset()
+		rm.ctx[i].suspensions.Reset()
+		rm.ctx[i].lifetime.Reset()
+	}
+	for _, wm := range rm.workers {
+		wm.txns.Reset()
+		wm.outputs.Reset()
+		wm.transitions.Reset()
+		wm.suspendedSkips.Reset()
+		wm.instanceExecs.Reset()
+		wm.eventsFed.Reset()
+		wm.historyResets.Reset()
+		wm.txnLatency.Reset()
+		wm.derivedChunks.Set(0)
+		wm.derivedLive.Set(0)
+		wm.derivedReclaimed.Reset()
+	}
+	for i := range rm.query {
+		qm := &rm.query[i]
+		qm.execs.Reset()
+		qm.matches.Reset()
+		qm.filteredOut.Reset()
+		qm.negated.Reset()
+		qm.arenaChunks.Reset()
+		qm.partials.Set(0)
+		qm.negBuffered.Set(0)
+		qm.pending.Set(0)
+		qm.runNodes.Set(0)
+		qm.predEntries.Set(0)
+	}
 }
 
 // register attaches the run's metric objects to the registry. Called
@@ -155,6 +209,11 @@ func (rm *runMetrics) register(reg *telemetry.Registry, e *Engine, workers []*wo
 		w := workers[i]
 		reg.Register("caesar_worker_queue_depth", "transactions queued at the worker",
 			telemetry.GaugeFunc(w.queueDepth), lbl)
+		if w.arena != nil {
+			reg.Register("caesar_derived_arena_chunks", "derived-event arena slabs allocated", &wm.derivedChunks, lbl)
+			reg.Register("caesar_derived_arena_live_chunks", "sealed derived-event slabs awaiting reclamation", &wm.derivedLive, lbl)
+			reg.Register("caesar_derived_arena_reclaimed_total", "derived-event slabs recycled by watermark reclamation", &wm.derivedReclaimed, lbl)
+		}
 	}
 	for i := range rm.query {
 		lbl := telemetry.Label{Key: "query", Value: e.queryNames[i]}

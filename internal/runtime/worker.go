@@ -59,6 +59,24 @@ type worker struct {
 	merged    bool
 	mergeSink []*event.Event
 
+	// alloc hands out derived-event records to this worker's plan
+	// instances (DESIGN.md §3.8). It is the slab arena below unless
+	// Config.DisableDerivedArena routes construction to the GC heap.
+	alloc event.Allocator
+	// arena is the worker-owned derived-event arena (nil when
+	// disabled). Derived events are only ever referenced by this
+	// worker's own partitions (chained pools, pattern state) and by
+	// the output path, so reclamation is worker-local: slabs recycle
+	// once the worker's completed mark minus slack passes them — and,
+	// in shard mode with an output merger, once the merger has
+	// released their tick (see engineShard.loop).
+	arena *event.Arena
+	// slack is the derived-event retention horizon in application
+	// time: pattern state of downstream queries may reference a
+	// chained derived event up to 2·maxHorizon back from a completed
+	// transaction, exactly like ingest slabs (Engine.reclaimSlack).
+	slack int64
+
 	collected []*event.Event
 }
 
@@ -72,6 +90,7 @@ func newWorker(e *Engine, id int, rm *runMetrics) *worker {
 		timed:  rm.detail,
 		sentTS: math.MinInt64,
 	}
+	w.initAlloc(e)
 	w.completed.Store(math.MinInt64)
 	return w
 }
@@ -79,13 +98,59 @@ func newWorker(e *Engine, id int, rm *runMetrics) *worker {
 // newShardWorker builds a worker without a hand-off channel: the
 // owning engineShard drives it inline from its own goroutine.
 func newShardWorker(e *Engine, id int, rm *runMetrics) *worker {
-	return &worker{
+	w := &worker{
 		eng:    e,
 		id:     id,
 		rm:     rm,
 		wm:     rm.workers[id],
 		timed:  rm.detail,
 		sentTS: math.MinInt64,
+	}
+	w.initAlloc(e)
+	return w
+}
+
+// initAlloc wires the worker's derived-event allocator: the slab
+// arena by default, the GC heap under Config.DisableDerivedArena.
+func (w *worker) initAlloc(e *Engine) {
+	w.slack = e.reclaimSlack()
+	if e.cfg.DisableDerivedArena {
+		w.alloc = event.HeapAlloc{}
+		return
+	}
+	w.arena = event.NewArena(e.cfg.DerivedChunkEvents)
+	w.alloc = w.arena
+}
+
+// reclaimDerived recycles derived-event slabs entirely below bound
+// and refreshes the worker's arena gauges (single-writer atomics, so
+// a live scrape never races the arena's plain counters).
+func (w *worker) reclaimDerived(bound int64) {
+	if w.arena == nil {
+		return
+	}
+	if freed := w.arena.ReclaimBefore(event.Time(bound)); freed > 0 {
+		w.wm.derivedReclaimed.Add(uint64(freed))
+	}
+	w.wm.derivedChunks.Set(int64(w.arena.Chunks()))
+	w.wm.derivedLive.Set(int64(w.arena.LiveChunks()))
+}
+
+// resetForRun rewinds the worker's per-run state so a cached engine
+// run can reuse it: progress marks, collected outputs, and the
+// derived arena (nothing references the previous run's slabs once
+// partition state has been reset alongside).
+func (w *worker) resetForRun() {
+	w.wallNow = 0
+	w.sentTS = math.MinInt64
+	w.completed.Store(math.MinInt64)
+	for i := range w.collected {
+		w.collected[i] = nil
+	}
+	w.collected = w.collected[:0]
+	w.mergeSink = w.mergeSink[:0]
+	if w.arena != nil {
+		w.arena.Reset()
 	}
 }
 
@@ -133,6 +198,11 @@ func (w *worker) putTxnBuf(b *txnBuf) {
 
 func (w *worker) loop() {
 	for msg := range w.ch {
+		if msg.buf == nil {
+			// Shutdown sentinel (run.shutdown): the channel stays open
+			// so a cached run can reuse it.
+			return
+		}
 		w.wallNow = 0
 		sp := msg.span
 		var outBase uint64
@@ -174,6 +244,11 @@ func (w *worker) loop() {
 		}
 		w.putTxnBuf(msg.buf)
 		w.completed.Store(int64(msg.ts))
+		// Derived events below completed-slack are unreferenced: this
+		// worker's own partitions are the only holders (partition →
+		// worker assignment is fixed), and their pattern state reaches
+		// at most 2·maxHorizon back (the slack term).
+		w.reclaimDerived(int64(msg.ts) - w.slack)
 	}
 }
 
@@ -246,6 +321,35 @@ func (w *worker) newPartition(key string) *partitionState {
 	return ps
 }
 
+// reset restores the partition to its pre-run state so a cached
+// engine run starts identically to a fresh one: context vectors back
+// to the default window, operator state discarded (the same discard
+// the context-history GC performs mid-run), activity flags and metric
+// baselines recomputed. The retained structure — vectors, instances,
+// scratch capacity — is what run reuse amortizes.
+func (ps *partitionState) reset(e *Engine) {
+	defIdx := e.m.Default.Index
+	for _, g := range ps.groups {
+		g.vec.Reset(defIdx)
+		for i := range g.openedAt {
+			g.openedAt[i] = -1
+		}
+		g.transBuf = g.transBuf[:0]
+		g.derived = g.derived[:0]
+		g.poolBuf = g.poolBuf[:0]
+		for _, is := range g.insts {
+			is.inst.Reset()
+			is.wasActive = is.inst.Active()
+			// Pattern counters are cumulative across Reset; refreshing
+			// the baselines keeps detail-mode delta publishing exact
+			// while the reset gauges restart from zero.
+			is.lastStats = is.inst.PatternStats()
+			is.lastFoot = is.inst.Footprint()
+			is.lastChunks = is.inst.ArenaChunks()
+		}
+	}
+}
+
 // exec runs one stream transaction: route the batch through every
 // group, chain derived events to downstream instances within the
 // transaction, apply transitions at the end, and discard context
@@ -271,7 +375,7 @@ func (g *execGroup) exec(w *worker, now event.Time, batch []*event.Event) {
 		w.execsInTxn++
 		w.wm.eventsFed.Add(uint64(len(pool)))
 		derived := g.derived[:0]
-		derived, trans = is.inst.Exec(now, pool, derived, trans)
+		derived, trans = is.inst.Exec(now, pool, w.alloc, derived, trans)
 		g.derived = derived[:0]
 		if w.rm.detail {
 			is.publishDetail(w.rm)
@@ -386,7 +490,14 @@ func (w *worker) emit(events []*event.Event) {
 			w.rm.outputLatency.Observe(wall - e.Arrival)
 		}
 		if w.eng.cfg.CollectOutputs {
-			w.collected = append(w.collected, e)
+			c := e
+			if w.arena != nil {
+				// Stats.Outputs outlives the run; arena records do not
+				// (slabs recycle on watermark and on the next Run), so
+				// collected events are cloned to the heap here.
+				c = event.Clone(e)
+			}
+			w.collected = append(w.collected, c)
 		}
 		if w.merged {
 			w.mergeSink = append(w.mergeSink, e)

@@ -38,6 +38,8 @@ go test -run=NONE -bench='BenchmarkEngine(WireIngest|BatchStream|SyncIngest)' -b
 echo "== running shard scaling benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkEngineSharded$' -benchmem -count="$count" \
     . | tee -a "$tmp3" >&2
+go test -run=NONE -bench='BenchmarkEngineDerivedHeavy$' -benchmem -count="$count" \
+    ./internal/runtime/ | tee -a "$tmp3" >&2
 
 echo "== running stage tracing benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkEngineShardedTraced|BenchmarkDistributorTraced' \

@@ -74,6 +74,31 @@ echo "== bench guard (0 allocs/op with stage tracing enabled)"
 check_zero_allocs 'BenchmarkDistributorTraced$' ./internal/runtime/
 check_zero_allocs 'BenchmarkEngineShardedTraced$' ./internal/runtime/
 
+# PR 9: derived-event construction itself must be allocation-free in
+# the sharded steady state — every event derives through the slab
+# arena and slabs recycle behind the watermark.
+echo "== bench guard (0 allocs/op derived-event arena)"
+check_zero_allocs 'BenchmarkEngineDerivedHeavy$' ./internal/runtime/
+
+# Whole-run alloc ceiling: unlike the steady-state harnesses above,
+# BenchmarkEngineSharded rebuilds a full Run per op, so per-run
+# incidentals (goroutines, ring channels, registration closures)
+# remain. The ceiling catches construction cost creeping back into
+# the per-run path; pre-arena this figure was 849 allocs/op.
+check_alloc_ceiling() {
+    out=$(go test -run=NONE -bench="$1" -benchmem -benchtime=30x "$2")
+    echo "$out"
+    bad=$(echo "$out" | awk -v max="$3" '/allocs\/op/ && $(NF-1) + 0 > max + 0 { print }')
+    if [ -n "$bad" ]; then
+        echo "bench-guard: allocs/op above ceiling $3:" >&2
+        echo "$bad" >&2
+        exit 1
+    fi
+}
+echo "== bench guard (whole-run alloc ceilings)"
+check_alloc_ceiling 'BenchmarkEngineSharded$/shards=2$' . 50
+check_alloc_ceiling 'BenchmarkEngineContextAware$' . 7000
+
 # Kernel differential under the race detector, at higher counts than
 # the suite-wide pass: the shared-run automaton must stay emission-
 # identical to the preserved legacy kernel, including under the
@@ -89,5 +114,13 @@ go test -race -count=2 -run 'TestPatternKernelsByteIdentical' .
 echo "== go test -race (sharded runtime differential)"
 go test -race -count=2 -run 'TestShardedMatchesLegacy|TestShardedOrderedOutput|TestSpscRing' ./internal/runtime/
 go test -race -count=2 -run 'TestShardedTollByteIdentical' .
+
+# Derived-event arena differential under the race detector: arena
+# and heap construction must stay byte-identical across every
+# execution mode while tiny slabs recycle mid-run, and cached-run
+# reuse must reproduce a run exactly (PR 9, DESIGN.md §3.8).
+echo "== go test -race (derived arena differential)"
+go test -race -count=2 -run 'TestDerivedChainSurvivesReclamation|TestRunReuseIdenticalOutputs' ./internal/runtime/
+go test -race -run 'TestDerivedArenaTollByteIdentical' .
 
 echo "== ci OK"
