@@ -18,6 +18,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -41,6 +42,9 @@ func main() {
 	readAhead := flag.Int("read-ahead", 0, "ingest read-ahead ring depth in batches (0 = default)")
 	noPipeline := flag.Bool("no-pipeline", false, "disable the pipelined ingest path (decode inline with dispatch)")
 	heapDerived := flag.Bool("heap-derived", false, "construct derived events on the GC heap instead of the worker slab arenas")
+	durableDir := flag.String("durable-dir", "", "directory for the input WAL and state checkpoints; a re-run over the same directory recovers and resumes")
+	ckptEvery := flag.Int("checkpoint-interval", 0, "ticks between state checkpoints (0 = default; used with -durable-dir)")
+	walSync := flag.String("wal-sync", "tick", "WAL fsync cadence: 'tick', 'async', or a tick count N (used with -durable-dir)")
 	quiet := flag.Bool("quiet", false, "suppress derived events, print stats only")
 	dot := flag.Bool("dot", false, "print the model's context transition network as Graphviz DOT and exit")
 	listen := flag.String("listen", "", "serve stream sessions on this TCP address instead of stdin/stdout")
@@ -80,6 +84,9 @@ func main() {
 		ReadAhead:           *readAhead,
 		DisablePipeline:     *noPipeline,
 		DisableDerivedArena: *heapDerived,
+		DurableDir:          *durableDir,
+		CheckpointEvery:     *ckptEvery,
+		WALSync:             parseWALSync(*walSync),
 	}
 	if *traceSample > 0 {
 		engCfg.Stages = telemetry.NewStageTracer(*traceSample, 0)
@@ -172,6 +179,23 @@ func startAdmin(addr string, h http.Handler) {
 			fmt.Fprintln(os.Stderr, "caesar: admin:", err)
 		}
 	}()
+}
+
+// parseWALSync maps the -wal-sync flag onto core.Config.WALSync:
+// "tick" fsyncs every tick, "async" leaves flushing to the OS, and a
+// number N fsyncs every N ticks.
+func parseWALSync(s string) int {
+	switch s {
+	case "tick", "":
+		return 0
+	case "async":
+		return -1
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		fail(fmt.Errorf("-wal-sync must be 'tick', 'async' or a positive tick count, got %q", s))
+	}
+	return n
 }
 
 func sortedKeys(m map[string]uint64) []string {

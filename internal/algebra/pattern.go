@@ -4,6 +4,7 @@ import (
 	"github.com/caesar-cep/caesar/internal/event"
 	"github.com/caesar-cep/caesar/internal/model"
 	"github.com/caesar-cep/caesar/internal/predicate"
+	"github.com/caesar-cep/caesar/internal/wire"
 )
 
 // PatternSpec configures a pattern operator instance.
@@ -87,6 +88,8 @@ type kernel interface {
 	footprint() Footprint
 	release(ms []*Match)
 	arenaChunks() int
+	save(enc *wire.Enc, tab *wire.EventTable) error
+	load(d *wire.Dec, evs *wire.RestoredEvents) error
 }
 
 // Pattern is the P operator (paper §4.1): it consumes an event

@@ -96,6 +96,20 @@ type Config struct {
 	// Health, when non-nil, receives the run's liveness/readiness
 	// probes for /healthz (see runtime.Config.Health).
 	Health *telemetry.Health
+	// DurableDir, when non-empty, makes runs crash-recoverable: input
+	// batches append to a write-ahead log in this directory before
+	// dispatch, partition state checkpoints there periodically, and a
+	// later run over the same directory recovers and resumes (see
+	// runtime.Config.DurableDir for the re-feed contract and delivery
+	// semantics).
+	DurableDir string
+	// CheckpointEvery is the checkpoint cadence in ticks (0 = default;
+	// see runtime.Config.CheckpointEvery).
+	CheckpointEvery int
+	// WALSync controls WAL fsync cadence: < 0 leaves syncing to the
+	// OS, 0 or 1 fsyncs every tick, N > 1 every N ticks (see
+	// runtime.Config.WALSync).
+	WALSync int
 }
 
 // Summary renders the configuration as a flat string map — the
@@ -127,6 +141,11 @@ func (c Config) Summary() map[string]string {
 	}
 	if c.Stages != nil {
 		s["trace_sample_rate"] = strconv.Itoa(c.Stages.SampleRate())
+	}
+	if c.DurableDir != "" {
+		s["durable_dir"] = c.DurableDir
+		s["checkpoint_every"] = strconv.Itoa(c.CheckpointEvery)
+		s["wal_sync"] = strconv.Itoa(c.WALSync)
 	}
 	return s
 }
@@ -182,6 +201,10 @@ func NewEngine(m *model.Model, cfg Config) (*Engine, error) {
 
 		DisableDerivedArena: cfg.DisableDerivedArena,
 		DerivedChunkEvents:  cfg.DerivedChunkEvents,
+
+		DurableDir:      cfg.DurableDir,
+		CheckpointEvery: cfg.CheckpointEvery,
+		WALSync:         cfg.WALSync,
 	})
 	if err != nil {
 		return nil, err

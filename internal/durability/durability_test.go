@@ -1,0 +1,527 @@
+package durability
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+func testRegistry() *event.Registry {
+	reg := event.NewRegistry()
+	reg.MustRegister(event.MustSchema("Pos",
+		event.Field{Name: "vid", Kind: event.KindInt},
+		event.Field{Name: "speed", Kind: event.KindFloat},
+	))
+	reg.MustRegister(event.MustSchema("Tag",
+		event.Field{Name: "name", Kind: event.KindString},
+	))
+	return reg
+}
+
+func mkTick(reg *event.Registry, rng *rand.Rand, t event.Time) []*event.Event {
+	pos, _ := reg.Lookup("Pos")
+	tag, _ := reg.Lookup("Tag")
+	n := 1 + rng.Intn(4)
+	evs := make([]*event.Event, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			evs = append(evs, event.MustNew(tag, t, event.String("k")))
+		} else {
+			evs = append(evs, event.MustNew(pos, t,
+				event.Int64(rng.Int63n(100)), event.Float64(rng.Float64()*80)))
+		}
+	}
+	return evs
+}
+
+type tickLog struct {
+	tick event.Time
+	evs  []*event.Event
+}
+
+func collectReplay(t *testing.T, dir string, reg *event.Registry) ([]tickLog, event.Time, bool) {
+	t.Helper()
+	var got []tickLog
+	last, ok, err := ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+		got = append(got, tickLog{tk, evs})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, last, ok
+}
+
+func sameTicks(t *testing.T, got []tickLog, want []tickLog) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d ticks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].tick != want[i].tick {
+			t.Fatalf("tick %d: got %d want %d", i, got[i].tick, want[i].tick)
+		}
+		if len(got[i].evs) != len(want[i].evs) {
+			t.Fatalf("tick %d: %d events, want %d", i, len(got[i].evs), len(want[i].evs))
+		}
+		for j := range want[i].evs {
+			if !got[i].evs[j].Equal(want[i].evs[j]) {
+				t.Fatalf("tick %d event %d: got %v want %v", i, j, got[i].evs[j], want[i].evs[j])
+			}
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(1))
+	w, err := OpenWAL(dir, SyncPerTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []tickLog
+	for tk := event.Time(0); tk < 50; tk += 1 + event.Time(rng.Intn(3)) {
+		evs := mkTick(reg, rng, tk)
+		if err := w.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, last, ok := collectReplay(t, dir, reg)
+	if !ok || last != want[len(want)-1].tick {
+		t.Fatalf("last=%d ok=%v, want %d", last, ok, want[len(want)-1].tick)
+	}
+	sameTicks(t, got, want)
+}
+
+func TestWALRejectsOutOfOrder(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(2))
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Append(5, mkTick(reg, rng, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, mkTick(reg, rng, 5)); err == nil {
+		t.Fatal("want error on duplicate tick")
+	}
+	if err := w.Append(3, mkTick(reg, rng, 3)); err == nil {
+		t.Fatal("want error on backwards tick")
+	}
+}
+
+func TestWALTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(3))
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []tickLog
+	for tk := event.Time(0); tk < 20; tk++ {
+		evs := mkTick(reg, rng, tk)
+		if err := w.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %d", err, len(segs))
+	}
+	seg := segs[len(segs)-1].path
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail: chop off the last 7 bytes (mid-frame).
+	if err := os.WriteFile(seg, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, last, ok := collectReplay(t, dir, reg)
+	if !ok {
+		t.Fatal("want at least one valid frame")
+	}
+	if len(got) != len(want)-1 || last != want[len(want)-2].tick {
+		t.Fatalf("replayed %d ticks last=%d, want %d last=%d", len(got), last, len(want)-1, want[len(want)-2].tick)
+	}
+	sameTicks(t, got, want[:len(want)-1])
+	// The torn tail must be physically truncated: a second replay
+	// reads a clean file with identical content.
+	got2, last2, ok2 := collectReplay(t, dir, reg)
+	if !ok2 || last2 != last || len(got2) != len(got) {
+		t.Fatal("second replay after tail truncation diverged")
+	}
+	info, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= int64(len(data)) {
+		t.Fatal("torn tail was not truncated")
+	}
+}
+
+// TestWALTornWriteFuzz truncates and corrupts the WAL at every
+// possible byte offset and requires replay to never panic, never
+// return an error, and always yield a prefix of the original ticks.
+func TestWALTornWriteFuzz(t *testing.T) {
+	base := t.TempDir()
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(4))
+	srcDir := filepath.Join(base, "src")
+	w, err := OpenWAL(srcDir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []tickLog
+	for tk := event.Time(0); tk < 12; tk++ {
+		evs := mkTick(reg, rng, tk)
+		if err := w.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(srcDir)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("want 1 segment, got %d (%v)", len(segs), err)
+	}
+	orig, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segName := filepath.Base(segs[0].path)
+
+	checkPrefix := func(t *testing.T, dir string) {
+		var got []tickLog
+		last, ok, err := ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+			got = append(got, tickLog{tk, evs})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replay errored: %v", err)
+		}
+		if len(got) > len(want) {
+			t.Fatalf("replayed %d ticks from a damaged log of %d", len(got), len(want))
+		}
+		sameTicks(t, got, want[:len(got)])
+		if ok && last != got[len(got)-1].tick {
+			t.Fatalf("last=%d disagrees with final replayed tick %d", last, got[len(got)-1].tick)
+		}
+	}
+
+	t.Run("truncate", func(t *testing.T) {
+		for cut := 0; cut <= len(orig); cut++ {
+			dir := filepath.Join(base, "trunc")
+			os.RemoveAll(dir)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, segName), orig[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			checkPrefix(t, dir)
+		}
+	})
+
+	t.Run("bitflip", func(t *testing.T) {
+		for off := 0; off < len(orig); off += 3 {
+			dir := filepath.Join(base, "flip")
+			os.RemoveAll(dir)
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			mut := append([]byte(nil), orig...)
+			mut[off] ^= 0x40
+			if err := os.WriteFile(filepath.Join(dir, segName), mut, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			// A bit flip may corrupt any frame; replay must yield some
+			// subsequence of ticks without error. (Ticks after the
+			// flipped frame are lost with the rest of the segment —
+			// prefix property only holds per segment.)
+			var got []tickLog
+			_, _, err := ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+				got = append(got, tickLog{tk, evs})
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("replay errored at flip offset %d: %v", off, err)
+			}
+			if len(got) > len(want) {
+				t.Fatalf("flip offset %d: replayed %d > %d ticks", off, len(got), len(want))
+			}
+		}
+	})
+}
+
+func TestWALRotationAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	pos, _ := reg.Lookup("Pos")
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Big string payloads to force several rotations quickly.
+	tag, _ := reg.Lookup("Tag")
+	blob := string(bytes.Repeat([]byte("x"), 64<<10))
+	var want []tickLog
+	for tk := event.Time(0); tk < 200; tk++ {
+		evs := []*event.Event{
+			event.MustNew(pos, tk, event.Int64(int64(tk)), event.Float64(1)),
+			event.MustNew(tag, tk, event.String(blob)),
+		}
+		if err := w.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to close ≥2 segments, got %d", len(segs))
+	}
+	got, _, _ := collectReplay(t, dir, reg)
+	sameTicks(t, got, want)
+
+	// Truncating at a mid-log tick must delete fully covered closed
+	// segments and keep everything after the snapshot tick replayable.
+	snapTick := event.Time(100)
+	before := w.Backlog()
+	if err := w.Truncate(snapTick); err != nil {
+		t.Fatal(err)
+	}
+	if w.Backlog() >= before {
+		t.Fatal("truncate reclaimed nothing")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var tail []tickLog
+	for _, tl := range want {
+		if tl.tick > snapTick {
+			tail = append(tail, tl)
+		}
+	}
+	var got2 []tickLog
+	_, _, err = ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+		if tk > snapTick {
+			got2 = append(got2, tickLog{tk, evs})
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTicks(t, got2, tail)
+}
+
+func TestWALResumeAfterReplay(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(5))
+	w1, err := OpenWAL(dir, SyncPerTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []tickLog
+	for tk := event.Time(0); tk < 10; tk++ {
+		evs := mkTick(reg, rng, tk)
+		if err := w1.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	// Simulate a crash: no Close. Reopen, replay, continue appending.
+	_, _, ok := collectReplay(t, dir, reg)
+	if !ok {
+		t.Fatal("no frames survived the crash")
+	}
+	w2, err := OpenWAL(dir, SyncPerTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tk := event.Time(10); tk < 20; tk++ {
+		evs := mkTick(reg, rng, tk)
+		if err := w2.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, tickLog{tk, evs})
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, last, ok := collectReplay(t, dir, reg)
+	if !ok || last != 19 {
+		t.Fatalf("last=%d ok=%v", last, ok)
+	}
+	sameTicks(t, got, want)
+
+	// A checkpoint past the old run's ticks lets Truncate reclaim the
+	// crashed run's segments.
+	w3, err := OpenWAL(dir, SyncPerTick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Append(20, mkTick(reg, rng, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Truncate(19); err != nil {
+		t.Fatal(err)
+	}
+	if err := w3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var got2 []tickLog
+	_, _, err = ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+		got2 = append(got2, tickLog{tk, evs})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 1 || got2[0].tick != 20 {
+		t.Fatalf("after truncate want only tick 20, got %d ticks", len(got2))
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sections := []Section{
+		{Key: "part|1|", Data: []byte{1, 2, 3}},
+		{Key: "part|2|", Data: nil},
+		{Key: "·", Data: bytes.Repeat([]byte{0xab}, 1000)},
+	}
+	if _, err := WriteSnapshot(dir, 42, "fp-v1", sections); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadLatestSnapshot(dir, "fp-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Tick != 42 || snap.Fingerprint != "fp-v1" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+	if len(snap.Sections) != len(sections) {
+		t.Fatalf("sections: %d want %d", len(snap.Sections), len(sections))
+	}
+	for i, s := range sections {
+		if snap.Sections[i].Key != s.Key || !bytes.Equal(snap.Sections[i].Data, s.Data) {
+			t.Fatalf("section %d mismatch", i)
+		}
+	}
+	if tick, ok := LatestSnapshotTick(dir); !ok || tick != 42 {
+		t.Fatalf("LatestSnapshotTick = %d, %v", tick, ok)
+	}
+}
+
+func TestSnapshotFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, 7, "fp-old", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLatestSnapshot(dir, "fp-new"); err == nil {
+		t.Fatal("want error on fingerprint mismatch")
+	}
+}
+
+func TestSnapshotCorruptFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteSnapshot(dir, 10, "fp", []Section{{Key: "a", Data: []byte{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteSnapshot(dir, 20, "fp", []Section{{Key: "b", Data: []byte{2}}}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest snapshot; loading must fall back to tick 10.
+	newest := filepath.Join(dir, snapName(20))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadLatestSnapshot(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Tick != 10 {
+		t.Fatalf("want fallback to tick 10, got %+v", snap)
+	}
+}
+
+func TestSnapshotPrunesOld(t *testing.T) {
+	dir := t.TempDir()
+	for _, tk := range []event.Time{1, 2, 3, 4} {
+		if _, err := WriteSnapshot(dir, tk, "fp", nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ticks := listSnapshots(dir)
+	if len(ticks) != 2 || ticks[0] != 3 || ticks[1] != 4 {
+		t.Fatalf("want snapshots [3 4], got %v", ticks)
+	}
+}
+
+func TestLoadSnapshotEmptyDir(t *testing.T) {
+	snap, err := LoadLatestSnapshot(t.TempDir(), "fp")
+	if err != nil || snap != nil {
+		t.Fatalf("empty dir: snap=%v err=%v", snap, err)
+	}
+	snap, err = LoadLatestSnapshot(filepath.Join(t.TempDir(), "missing"), "fp")
+	if err != nil || snap != nil {
+		t.Fatalf("missing dir: snap=%v err=%v", snap, err)
+	}
+}
+
+func BenchmarkWALAppend(b *testing.B) {
+	dir := b.TempDir()
+	reg := testRegistry()
+	pos, _ := reg.Lookup("Pos")
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	const perTick = 64
+	evs := make([]*event.Event, perTick)
+	for i := range evs {
+		evs[i] = event.MustNew(pos, 0, event.Int64(int64(i)), event.Float64(33.5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tk := event.Time(i)
+		for j := range evs {
+			evs[j].Time = event.Point(tk)
+		}
+		if err := w.Append(tk, evs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*perTick), "ns/event")
+}

@@ -1,0 +1,223 @@
+package durability
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/wire"
+)
+
+// Snapshot file format: the 8-byte magic "CAESNAP1" followed by one
+// CRC frame (4-byte little-endian payload length, 4-byte CRC32 of the
+// payload, payload). The payload is: zigzag-varint snapshot tick, a
+// length-prefixed plan fingerprint string, a uvarint section count,
+// then each section as a length-prefixed key string plus a
+// length-prefixed opaque byte blob. A snapshot is valid iff the magic,
+// length and CRC all check out — a torn write is simply not a valid
+// snapshot, which is why the file is written to a temp name and
+// renamed into place only after fsync.
+
+// Section is one opaque serialized component of a snapshot, keyed so
+// recovery can route it back to its owner (e.g. a partition key).
+type Section struct {
+	Key  string
+	Data []byte
+}
+
+// Snapshot is a decoded snapshot file.
+type Snapshot struct {
+	Tick        event.Time
+	Fingerprint string
+	Sections    []Section
+}
+
+func snapName(tick event.Time) string {
+	return fmt.Sprintf("snap-%d.ckpt", int64(tick))
+}
+
+// WriteSnapshot atomically writes a snapshot at tick to dir: temp
+// file, fsync, rename, directory fsync. Older snapshots beyond the
+// newest two are removed afterwards. Returns the snapshot's size in
+// bytes.
+func WriteSnapshot(dir string, tick event.Time, fingerprint string, sections []Section) (int64, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, fmt.Errorf("durability: snapshot dir: %w", err)
+	}
+	var enc wire.Enc
+	enc.Varint(int64(tick))
+	enc.String(fingerprint)
+	enc.Uvarint(uint64(len(sections)))
+	for _, s := range sections {
+		enc.String(s.Key)
+		enc.Raw(s.Data)
+	}
+	payload := enc.Bytes()
+	var hdr [frameadmin]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+
+	tmp, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("durability: snapshot temp: %w", err)
+	}
+	tmpPath := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpPath) }
+	if _, err := tmp.WriteString(snapMagic); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("durability: snapshot write: %w", err)
+	}
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("durability: snapshot write: %w", err)
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("durability: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return 0, fmt.Errorf("durability: snapshot fsync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("durability: snapshot close: %w", err)
+	}
+	final := filepath.Join(dir, snapName(tick))
+	if err := os.Rename(tmpPath, final); err != nil {
+		os.Remove(tmpPath)
+		return 0, fmt.Errorf("durability: snapshot rename: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return 0, err
+	}
+	pruneSnapshots(dir, 2)
+	return int64(len(snapMagic) + frameadmin + len(payload)), nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("durability: open dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("durability: dir fsync: %w", err)
+	}
+	return nil
+}
+
+// listSnapshots returns snapshot file ticks under dir, ascending.
+func listSnapshots(dir string) []event.Time {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var ticks []event.Time
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".ckpt") {
+			continue
+		}
+		t, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".ckpt"), 10, 64)
+		if err != nil {
+			continue
+		}
+		ticks = append(ticks, event.Time(t))
+	}
+	sort.Slice(ticks, func(i, j int) bool { return ticks[i] < ticks[j] })
+	return ticks
+}
+
+// pruneSnapshots removes all but the newest keep snapshot files.
+func pruneSnapshots(dir string, keep int) {
+	ticks := listSnapshots(dir)
+	for i := 0; i+keep < len(ticks); i++ {
+		os.Remove(filepath.Join(dir, snapName(ticks[i])))
+	}
+}
+
+// LoadLatestSnapshot scans dir for the newest snapshot that decodes
+// cleanly and whose fingerprint matches. Corrupt or mismatched
+// snapshots are skipped (falling back to older ones). Returns nil
+// when no usable snapshot exists.
+func LoadLatestSnapshot(dir, fingerprint string) (*Snapshot, error) {
+	ticks := listSnapshots(dir)
+	for i := len(ticks) - 1; i >= 0; i-- {
+		snap, err := readSnapshot(filepath.Join(dir, snapName(ticks[i])))
+		if err != nil {
+			continue // torn or corrupt: older snapshots may still be good
+		}
+		if snap.Fingerprint != fingerprint {
+			return nil, fmt.Errorf("durability: snapshot %s fingerprint %q does not match engine %q (model or config changed since the crash)",
+				snapName(ticks[i]), snap.Fingerprint, fingerprint)
+		}
+		return snap, nil
+	}
+	return nil, nil
+}
+
+// LatestSnapshotTick reports the tick of the newest decodable
+// snapshot in dir (ok=false when none exists). Test helper and admin
+// surface; it does not check the fingerprint.
+func LatestSnapshotTick(dir string) (event.Time, bool) {
+	ticks := listSnapshots(dir)
+	for i := len(ticks) - 1; i >= 0; i-- {
+		if _, err := readSnapshot(filepath.Join(dir, snapName(ticks[i]))); err == nil {
+			return ticks[i], true
+		}
+	}
+	return 0, false
+}
+
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(snapMagic)+frameadmin || string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("durability: %s: bad snapshot magic", filepath.Base(path))
+	}
+	off := len(snapMagic)
+	plen := int(binary.LittleEndian.Uint32(data[off : off+4]))
+	crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	body := data[off+frameadmin:]
+	if plen != len(body) {
+		return nil, fmt.Errorf("durability: %s: snapshot length mismatch", filepath.Base(path))
+	}
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, fmt.Errorf("durability: %s: snapshot checksum mismatch", filepath.Base(path))
+	}
+	d := wire.NewDec(body)
+	snap := &Snapshot{
+		Tick:        event.Time(d.Varint()),
+		Fingerprint: d.String(),
+	}
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	if n > uint64(d.Rem()) {
+		return nil, fmt.Errorf("durability: %s: section count %d exceeds payload", filepath.Base(path), n)
+	}
+	snap.Sections = make([]Section, 0, n)
+	for i := uint64(0); i < n; i++ {
+		key := d.String()
+		blob := d.Raw()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		// Copy out of the file buffer: sections outlive this read.
+		snap.Sections = append(snap.Sections, Section{Key: key, Data: append([]byte(nil), blob...)})
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return snap, nil
+}

@@ -1,0 +1,389 @@
+// Package durability implements the durable-state subsystem: a
+// segmented, CRC-framed write-ahead log of input batches appended at
+// tick granularity, tick-aligned snapshots of per-partition runtime
+// state written atomically, and the recovery scan that replays the WAL
+// tail after a crash (DESIGN.md §3.9).
+//
+// The package owns file formats and framing only. What goes inside a
+// snapshot section is opaque here — the runtime serializes operator
+// state through internal/wire and hands this package byte sections.
+package durability
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/caesar-cep/caesar/internal/event"
+	"github.com/caesar-cep/caesar/internal/wire"
+)
+
+// WAL file format: an 8-byte magic ("CAESWAL1") followed by frames.
+// Each frame is a 4-byte little-endian payload length, a 4-byte
+// CRC32 (IEEE) of the payload, then the payload: a zigzag-varint
+// tick, a uvarint event count, and that many wire-encoded events.
+// A frame is valid iff its length fits the file and its CRC matches;
+// the first invalid frame ends the readable prefix of a segment.
+const (
+	walMagic   = "CAESWAL1"
+	snapMagic  = "CAESNAP1"
+	walSegMax  = 4 << 20 // rotate segments at ~4 MiB
+	frameadmin = 8       // bytes of frame header (len + crc)
+)
+
+// SyncPolicy values for WAL.syncEvery: 1 fsyncs every appended tick,
+// N>1 fsyncs every N ticks, and 0 is async — fsync only on segment
+// rotation and Close.
+const (
+	SyncAsync   = 0
+	SyncPerTick = 1
+)
+
+type segInfo struct {
+	path      string
+	firstTick event.Time
+	size      int64
+}
+
+// WAL is an append-only, segmented write-ahead log of input ticks.
+// It is not safe for concurrent use; the runtime appends from the
+// single dispatch/router goroutine.
+type WAL struct {
+	dir       string
+	syncEvery int
+
+	f        *os.File // current open segment (nil until first append)
+	fPath    string
+	fFirst   event.Time
+	fSize    int64
+	lastTick event.Time
+	haveTick bool
+
+	// closed segments in tick order, oldest first. The open segment is
+	// not in this list.
+	segs []segInfo
+
+	ticksSinceSync int
+	totalBytes     int64 // bytes across all segments incl. open
+
+	enc      wire.Enc
+	scratch  []byte
+	frameBuf [frameadmin]byte
+
+	// FsyncObserve, when non-nil, receives the duration of every fsync
+	// in nanoseconds (runtime bridges it into a latency histogram).
+	FsyncObserve func(nanos int64)
+
+	// counters the runtime polls for telemetry.
+	frames uint64
+	syncs  uint64
+}
+
+// OpenWAL opens (creating if needed) a WAL directory for appending.
+// Pre-existing segments — the tail of a crashed run — are recorded so
+// Truncate can reclaim them after the next checkpoint; appends always
+// start a fresh segment.
+func OpenWAL(dir string, syncEvery int) (*WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("durability: open wal: %w", err)
+	}
+	w := &WAL{dir: dir, syncEvery: syncEvery}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range segs {
+		w.segs = append(w.segs, s)
+		w.totalBytes += s.size
+	}
+	return w, nil
+}
+
+// listSegments returns the WAL segment files under dir sorted by
+// first tick (parsed from the filename).
+func listSegments(dir string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("durability: list wal segments: %w", err)
+	}
+	var segs []segInfo
+	for _, ent := range ents {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		tickStr := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".seg")
+		tick, err := strconv.ParseInt(tickStr, 10, 64)
+		if err != nil {
+			continue // not ours
+		}
+		info, err := ent.Info()
+		if err != nil {
+			return nil, fmt.Errorf("durability: stat segment %s: %w", name, err)
+		}
+		segs = append(segs, segInfo{
+			path:      filepath.Join(dir, name),
+			firstTick: event.Time(tick),
+			size:      info.Size(),
+		})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstTick < segs[j].firstTick })
+	return segs, nil
+}
+
+func segName(first event.Time) string {
+	return fmt.Sprintf("wal-%d.seg", int64(first))
+}
+
+// Append logs one tick's events. Ticks must be appended in strictly
+// increasing order. Depending on the sync policy the frame is fsynced
+// before Append returns.
+func (w *WAL) Append(tick event.Time, evs []*event.Event) error {
+	if w.haveTick && tick <= w.lastTick {
+		return fmt.Errorf("durability: wal append out of order: tick %d after %d", tick, w.lastTick)
+	}
+	if w.f != nil && w.fSize >= walSegMax {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	if w.f == nil {
+		if err := w.openSegment(tick); err != nil {
+			return err
+		}
+	}
+	w.enc = wire.Enc{}
+	w.enc.Varint(int64(tick))
+	w.enc.Uvarint(uint64(len(evs)))
+	for _, ev := range evs {
+		w.enc.Event(ev)
+	}
+	payload := w.enc.Bytes()
+	binary.LittleEndian.PutUint32(w.frameBuf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(w.frameBuf[4:8], crc32.ChecksumIEEE(payload))
+	w.scratch = append(w.scratch[:0], w.frameBuf[:]...)
+	w.scratch = append(w.scratch, payload...)
+	if _, err := w.f.Write(w.scratch); err != nil {
+		return fmt.Errorf("durability: wal append: %w", err)
+	}
+	n := int64(len(w.scratch))
+	w.fSize += n
+	w.totalBytes += n
+	w.lastTick = tick
+	w.haveTick = true
+	w.frames++
+	w.ticksSinceSync++
+	if w.syncEvery > 0 && w.ticksSinceSync >= w.syncEvery {
+		if err := w.sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *WAL) openSegment(first event.Time) error {
+	path := filepath.Join(w.dir, segName(first))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("durability: wal segment: %w", err)
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("durability: wal segment header: %w", err)
+	}
+	w.f, w.fPath, w.fFirst = f, path, first
+	w.fSize = int64(len(walMagic))
+	w.totalBytes += w.fSize
+	return nil
+}
+
+func (w *WAL) rotate() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.sync(); err != nil {
+		return err
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("durability: wal rotate: %w", err)
+	}
+	w.segs = append(w.segs, segInfo{path: w.fPath, firstTick: w.fFirst, size: w.fSize})
+	w.f = nil
+	return nil
+}
+
+func (w *WAL) sync() error {
+	if w.f == nil {
+		return nil
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("durability: wal fsync: %w", err)
+	}
+	if w.FsyncObserve != nil {
+		w.FsyncObserve(time.Since(start).Nanoseconds())
+	}
+	w.syncs++
+	w.ticksSinceSync = 0
+	return nil
+}
+
+// Sync forces an fsync of the open segment.
+func (w *WAL) Sync() error { return w.sync() }
+
+// Close fsyncs and closes the open segment.
+func (w *WAL) Close() error {
+	if w.f == nil {
+		return nil
+	}
+	if err := w.sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	err := w.f.Close()
+	w.segs = append(w.segs, segInfo{path: w.fPath, firstTick: w.fFirst, size: w.fSize})
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("durability: wal close: %w", err)
+	}
+	return nil
+}
+
+// Truncate deletes closed segments made obsolete by a snapshot at
+// snapTick. A closed segment is deletable when the next segment's
+// first tick is ≤ snapTick+1 — every tick it holds is then ≤ snapTick
+// and covered by the snapshot. The open segment is never deleted.
+func (w *WAL) Truncate(snapTick event.Time) error {
+	keep := w.segs[:0]
+	for i, s := range w.segs {
+		var nextFirst event.Time
+		switch {
+		case i+1 < len(w.segs):
+			nextFirst = w.segs[i+1].firstTick
+		case w.f != nil:
+			nextFirst = w.fFirst
+		default:
+			// No later segment: the bound on this segment's last tick
+			// is unknown, keep it.
+			keep = append(keep, s)
+			continue
+		}
+		if nextFirst <= snapTick+1 {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return fmt.Errorf("durability: wal truncate: %w", err)
+			}
+			w.totalBytes -= s.size
+			continue
+		}
+		keep = append(keep, s)
+	}
+	w.segs = keep
+	return nil
+}
+
+// Backlog returns the total bytes currently held across all WAL
+// segments (shrinks when Truncate reclaims segments).
+func (w *WAL) Backlog() int64 { return w.totalBytes }
+
+// Frames returns the number of frames appended this run.
+func (w *WAL) Frames() uint64 { return w.frames }
+
+// Syncs returns the number of fsyncs issued this run.
+func (w *WAL) Syncs() uint64 { return w.syncs }
+
+// LastTick returns the highest tick appended this run.
+func (w *WAL) LastTick() (event.Time, bool) { return w.lastTick, w.haveTick }
+
+// ReplayWAL scans every segment under dir in tick order and calls fn
+// once per valid frame, in strictly increasing tick order. Frames
+// whose tick is ≤ the highest tick already delivered are skipped
+// (overlap across segments after repeated crashes). An invalid frame
+// — bad CRC, impossible length, torn tail — ends that segment's
+// readable prefix: the rest of the segment is skipped and, for the
+// final segment, the file is physically truncated to the valid
+// prefix so the tail never resurfaces. Returns the highest tick
+// delivered (ok=false when the WAL held no valid frames).
+func ReplayWAL(dir string, reg *event.Registry, fn func(tick event.Time, evs []*event.Event) error) (last event.Time, ok bool, err error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	for i, s := range segs {
+		validLen, serr := replaySegment(s.path, reg, &last, &ok, fn)
+		if serr != nil {
+			return last, ok, serr
+		}
+		if validLen >= 0 && i == len(segs)-1 {
+			// Torn tail on the final segment: truncate it away so a
+			// later reopen appends after a clean prefix.
+			if terr := os.Truncate(s.path, validLen); terr != nil {
+				return last, ok, fmt.Errorf("durability: truncate torn tail: %w", terr)
+			}
+		}
+	}
+	return last, ok, nil
+}
+
+// replaySegment reads one segment, delivering valid frames through fn
+// (with cross-segment tick dedup via *last / *ok). It returns the
+// length of the valid prefix when the segment ends in an invalid
+// frame, or -1 when the whole segment read cleanly.
+func replaySegment(path string, reg *event.Registry, last *event.Time, ok *bool, fn func(event.Time, []*event.Event) error) (validLen int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return -1, fmt.Errorf("durability: read segment: %w", err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return 0, nil // header torn or foreign: nothing readable
+	}
+	off := int64(len(walMagic))
+	for {
+		if off == int64(len(data)) {
+			return -1, nil // clean end
+		}
+		if off+frameadmin > int64(len(data)) {
+			return off, nil // torn header
+		}
+		plen := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+		crc := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if off+frameadmin+plen > int64(len(data)) {
+			return off, nil // torn payload
+		}
+		payload := data[off+frameadmin : off+frameadmin+plen]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return off, nil // corrupt frame
+		}
+		d := wire.NewDec(payload)
+		tick := d.Time()
+		n := d.Uvarint()
+		if d.Err() != nil || n > uint64(d.Rem()) {
+			return off, nil // framed but malformed: treat as corrupt
+		}
+		evs := make([]*event.Event, 0, n)
+		for j := uint64(0); j < n; j++ {
+			ev := d.Event(reg)
+			if d.Err() != nil {
+				return off, nil
+			}
+			evs = append(evs, ev)
+		}
+		off += frameadmin + plen
+		if *ok && tick <= *last {
+			continue // duplicate tick across segments
+		}
+		if err := fn(tick, evs); err != nil {
+			return -1, err
+		}
+		*last, *ok = tick, true
+	}
+}

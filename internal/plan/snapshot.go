@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/caesar-cep/caesar/internal/wire"
+)
+
+// Save serializes the instance's mutable operator state — the pattern
+// kernel and, for TUMBLE queries, the aggregation accumulators — into
+// enc. Window gates, filters and projection heads are stateless (they
+// read the partition's context vector, which the runtime serializes
+// separately) and are rebuilt from the plan on restore. Events bound
+// inside partial matches are interned through tab so aliasing survives
+// the round trip.
+func (in *Instance) Save(enc *wire.Enc, tab *wire.EventTable) error {
+	if err := in.pattern.Save(enc, tab); err != nil {
+		return fmt.Errorf("plan: %s: %w", in.Plan.Query.Name, err)
+	}
+	enc.Bool(in.agg != nil)
+	if in.agg != nil {
+		in.agg.Save(enc)
+	}
+	return nil
+}
+
+// Load restores state saved by Save into a freshly built instance of
+// the same plan. The instance must have been constructed by the same
+// QueryPlan shape (the snapshot fingerprint one layer up guards this).
+func (in *Instance) Load(d *wire.Dec, evs *wire.RestoredEvents) error {
+	if err := in.pattern.Load(d, evs); err != nil {
+		return fmt.Errorf("plan: %s: %w", in.Plan.Query.Name, err)
+	}
+	hasAgg := d.Bool()
+	if hasAgg != (in.agg != nil) {
+		return fmt.Errorf("plan: %s: snapshot aggregate presence mismatch (snapshot %v, plan %v)",
+			in.Plan.Query.Name, hasAgg, in.agg != nil)
+	}
+	if in.agg != nil {
+		if err := in.agg.Load(d); err != nil {
+			return fmt.Errorf("plan: %s: %w", in.Plan.Query.Name, err)
+		}
+	}
+	return d.Err()
+}

@@ -147,6 +147,28 @@ type Config struct {
 	// behind /healthz. Probes are replaced per run, like registry
 	// metrics.
 	Health *telemetry.Health
+	// DurableDir, when non-empty, enables the durability subsystem
+	// (DESIGN.md §3.9): every tick's input batch is appended to a
+	// write-ahead log under the directory before dispatch, periodic
+	// tick-aligned snapshots of all partition state are written
+	// alongside, and Run recovers from the latest snapshot plus the
+	// WAL tail before consuming live input. Ticks already covered by
+	// recovery are dropped from the live source, so re-feeding the
+	// full input after a restart resumes exactly-once. Requires the
+	// pipelined ingest path and the shared-run kernel.
+	DurableDir string
+	// CheckpointEvery is the snapshot interval in dispatched ticks; 0
+	// means 512. Durability only.
+	CheckpointEvery int
+	// WALSync selects the WAL fsync policy: 0 or 1 sync after every
+	// tick append (a crash loses at most the tick being written), N > 1
+	// syncs every N appends, negative leaves flushing to the OS
+	// (fastest, weakest). Durability only.
+	WALSync int
+	// testCrashTick, when positive, aborts the run with a simulated
+	// crash at the boundary before the first tick at or beyond it
+	// (fault injection for the recovery tests).
+	testCrashTick int64
 }
 
 // Stats reports a run's measurements.
@@ -172,9 +194,12 @@ type Stats struct {
 	// watermark reclamation.
 	Batches         uint64
 	ReclaimedChunks uint64
-	Partitions      int
-	MaxLatency      time.Duration
-	MeanLatency     time.Duration
+	// ReplayedTicks counts WAL ticks re-dispatched during crash
+	// recovery (0 on a fresh run or without durability).
+	ReplayedTicks uint64
+	Partitions    int
+	MaxLatency    time.Duration
+	MeanLatency   time.Duration
 	// P50/P95/P99Latency are quantiles of the arrival-to-derivation
 	// latency distribution (log-scale histogram, ≤12.5% relative
 	// error; MaxLatency stays exact).
@@ -283,6 +308,17 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Mode == ContextIndependent && (cfg.Sharing || cfg.Fusion) {
 		return nil, fmt.Errorf("runtime: workload sharing and fusion apply to context-aware mode only")
+	}
+	if cfg.DurableDir != "" {
+		if cfg.DisablePipeline {
+			return nil, fmt.Errorf("runtime: durability requires the pipelined ingest path")
+		}
+		if cfg.Plan.Opts.LegacyKernel {
+			return nil, fmt.Errorf("runtime: durability requires the shared-run kernel (the legacy kernel does not snapshot)")
+		}
+		if cfg.CheckpointEvery < 0 {
+			return nil, fmt.Errorf("runtime: negative checkpoint interval")
+		}
 	}
 	e := &Engine{cfg: cfg, m: cfg.Plan.Model, nShards: nShards}
 	var err error
@@ -458,14 +494,16 @@ func (e *Engine) runSync(src event.Source) (*Stats, error) {
 			break
 		}
 		if len(tick) > 0 && ts != curTS {
-			r.dispatchTick(curTS, tick)
+			if orderErr = r.dispatchTick(curTS, tick); orderErr != nil {
+				break
+			}
 			tick = tick[:0]
 		}
 		curTS = ts
 		tick = append(tick, ev)
 	}
 	if orderErr == nil && len(tick) > 0 {
-		r.dispatchTick(curTS, tick)
+		orderErr = r.dispatchTick(curTS, tick)
 	}
 	r.shutdown()
 	return r.finish(src, orderErr)

@@ -135,6 +135,10 @@ type run struct {
 
 	// health backs the run's /healthz probes (runtime health.go).
 	health *runHealth
+
+	// dur is the run's durability context (durable.go); nil without
+	// Config.DurableDir. Rebuilt per Run by openDurable.
+	dur *durableState
 }
 
 func (e *Engine) newRun() *run {
@@ -190,10 +194,23 @@ func (e *Engine) newRun() *run {
 
 // dispatchTick paces (when configured) and dispatches one tick.
 // Pacing lives here, on the dispatch side, so the decode goroutine
-// keeps parsing ahead during replay gaps.
-func (r *run) dispatchTick(ts event.Time, evs []*event.Event) {
+// keeps parsing ahead during replay gaps. With durability on, the
+// tick's batch is appended to the WAL before any worker sees it —
+// except during recovery replay, when the tick is already logged and
+// pacing, checkpointing and fault injection are suppressed.
+func (r *run) dispatchTick(ts event.Time, evs []*event.Event) error {
+	ds := r.dur
+	live := ds == nil || !ds.replaying
+	if ds != nil && live {
+		if ct := r.e.cfg.testCrashTick; ct > 0 && int64(ts) >= ct {
+			return errSimulatedCrash
+		}
+		if err := ds.appendTick(ts, evs); err != nil {
+			return err
+		}
+	}
 	r.rm.ticks.Inc()
-	if p := r.e.cfg.Pacing; p > 0 {
+	if p := r.e.cfg.Pacing; p > 0 && live {
 		if !r.appStartSet {
 			r.appStart, r.appStartSet = ts, true
 		}
@@ -204,6 +221,10 @@ func (r *run) dispatchTick(ts event.Time, evs []*event.Event) {
 	}
 	r.dist.dispatch(ts, evs, time.Now().UnixNano())
 	r.health.routed.Store(int64(ts))
+	if ds != nil && live {
+		return r.maybeCheckpoint(ts)
+	}
+	return nil
 }
 
 // reset rearms a cached run for its next execution: metrics rewound,
@@ -238,12 +259,17 @@ func (r *run) shutdown() {
 }
 
 // finish surfaces the run error or the source's deferred error, then
-// collects Stats.
+// collects Stats. A clean finish closes the WAL; a failed run leaves
+// the durable files exactly as the sync policy last flushed them (the
+// crash image recovery consumes).
 func (r *run) finish(src any, runErr error) (*Stats, error) {
 	if runErr == nil {
 		if es, ok := src.(interface{ Err() error }); ok {
 			runErr = es.Err()
 		}
+	}
+	if runErr == nil {
+		runErr = r.dur.closeWAL()
 	}
 	r.health.finish(runErr)
 	if runErr != nil {
@@ -253,7 +279,11 @@ func (r *run) finish(src any, runErr error) (*Stats, error) {
 		r.e.legacyRun = nil
 		return nil, runErr
 	}
-	return r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start)), nil
+	st := r.e.collect(r.rm, r.workers, len(r.dist.table), time.Since(r.start))
+	if r.dur != nil {
+		st.ReplayedTicks = r.dur.replayed.Value()
+	}
+	return st, nil
 }
 
 // startDecode launches the decode goroutine: it fills recycled batch
@@ -327,6 +357,16 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 	rec, _ := src.(event.Reclaimer)
 	slack := e.reclaimSlack()
 
+	// Recovery runs before the decode stage starts: restore the latest
+	// snapshot, re-dispatch the WAL tail through dispatchTick, then
+	// open the WAL for this run's appends.
+	if e.cfg.DurableDir != "" {
+		if err := r.openDurable(); err != nil {
+			r.shutdown()
+			return r.finish(src, err)
+		}
+	}
+
 	var decodeWG sync.WaitGroup
 	startDecode(ring, src, rec, &r.watermark, r.rm, &decodeWG)
 
@@ -358,11 +398,22 @@ func (e *Engine) RunBatches(src event.BatchSource) (*Stats, error) {
 
 // dispatchBatch splits a batch into its ticks (runs of equal
 // occurrence end time) and dispatches each, enforcing the §6.2
-// ordering contract and the batch protocol's tick alignment.
+// ordering contract and the batch protocol's tick alignment. Ticks at
+// or below the durability recovery point are dropped before the
+// ordering checks: a recovered run re-feeds the stream from the
+// start, and those ticks are below the replayed lastTS by design.
 func (r *run) dispatchBatch(b *event.Batch) error {
 	evs := b.Events
 	for i := 0; i < len(evs); {
 		ts := evs[i].End()
+		j := i + 1
+		for j < len(evs) && evs[j].End() == ts {
+			j++
+		}
+		if r.dur.skipTick(ts) {
+			i = j
+			continue
+		}
 		if r.haveLast {
 			if ts < r.lastTS {
 				return fmt.Errorf("runtime: out-of-order event %v after t=%d", evs[i], r.lastTS)
@@ -373,12 +424,10 @@ func (r *run) dispatchBatch(b *event.Batch) error {
 				return fmt.Errorf("runtime: batch source split tick t=%d across batches", ts)
 			}
 		}
-		j := i + 1
-		for j < len(evs) && evs[j].End() == ts {
-			j++
-		}
 		r.rm.events.Add(uint64(j - i))
-		r.dispatchTick(ts, evs[i:j])
+		if err := r.dispatchTick(ts, evs[i:j]); err != nil {
+			return err
+		}
 		r.lastTS, r.haveLast = ts, true
 		i = j
 	}

@@ -56,6 +56,13 @@ const shardRingDepth = 8
 type shardMsg struct {
 	evs   []*event.Event
 	spans []*telemetry.Span
+	// mark, when hasMark, advances the shard's completed tick past the
+	// grant's events (usually an empty grant): the checkpoint barrier
+	// pushes one to every shard the current tick never touched, since
+	// an idle shard would otherwise hold back both the barrier and the
+	// ordered merge release (durable.go).
+	mark    int64
+	hasMark bool
 }
 
 // engineShard is one partition-owning execution unit: a shard-local
@@ -167,6 +174,12 @@ func (s *engineShard) loop() {
 			s.execTick(ts, evs[i:j], sp)
 			s.completed.Store(int64(ts))
 			i = j
+		}
+		if msg.hasMark {
+			if msg.mark > s.completed.Load() {
+				s.completed.Store(msg.mark)
+			}
+			msg.hasMark = false
 		}
 		msg.evs = msg.evs[:0]
 		msg.spans = msg.spans[:0]
@@ -292,6 +305,10 @@ type shardedRun struct {
 
 	// health backs the run's /healthz probes (health.go).
 	health *runHealth
+
+	// dur is the run's durability context (durable.go); nil without
+	// Config.DurableDir. Rebuilt per Run by openDurable.
+	dur *durableState
 }
 
 // shardOf renders the event's partition key and hashes it onto the
@@ -314,8 +331,20 @@ func (r *shardedRun) shardOf(ev *event.Event) uint32 {
 func (r *shardedRun) routeBatch(b *event.Batch) error {
 	evs := b.Events
 	pacing := r.e.cfg.Pacing
+	ds := r.dur
 	for i := 0; i < len(evs); {
 		ts := evs[i].End()
+		j := i + 1
+		for j < len(evs) && evs[j].End() == ts {
+			j++
+		}
+		// Recovery dedup before the ordering checks: a recovered run
+		// re-feeds the stream from the start, and ticks at or below
+		// the recovery point are below the replayed lastTS by design.
+		if ds.skipTick(ts) {
+			i = j
+			continue
+		}
 		if r.haveLast {
 			if ts < r.lastTS {
 				return fmt.Errorf("runtime: out-of-order event %v after t=%d", evs[i], r.lastTS)
@@ -324,9 +353,16 @@ func (r *shardedRun) routeBatch(b *event.Batch) error {
 				return fmt.Errorf("runtime: batch source split tick t=%d across batches", ts)
 			}
 		}
-		j := i + 1
-		for j < len(evs) && evs[j].End() == ts {
-			j++
+		if ds != nil {
+			// The tick is durable before any shard sees it (redo-log
+			// ordering); the crash hook models a failure at exactly
+			// this boundary.
+			if ct := r.e.cfg.testCrashTick; ct > 0 && int64(ts) >= ct {
+				return errSimulatedCrash
+			}
+			if err := ds.appendTick(ts, evs[i:j]); err != nil {
+				return err
+			}
 		}
 		r.rm.events.Add(uint64(j - i))
 		r.rm.ticks.Inc()
@@ -379,6 +415,11 @@ func (r *shardedRun) routeBatch(b *event.Batch) error {
 		}
 		r.lastTS, r.haveLast = ts, true
 		r.health.routed.Store(int64(ts))
+		if ds != nil {
+			if err := r.maybeCheckpoint(ts); err != nil {
+				return err
+			}
+		}
 		i = j
 	}
 	r.flush()
@@ -566,11 +607,24 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 	registerShardMetrics(e.cfg.Telemetry, r.shards)
 
 	rec, _ := src.(event.Reclaimer)
+
+	// Recovery runs before the decode stage starts: restore the latest
+	// snapshot into the shard tables, replay the WAL tail through the
+	// rings (the shards are already consuming), then open the WAL for
+	// this run's appends.
+	var runErr error
+	if e.cfg.DurableDir != "" {
+		runErr = r.openDurable()
+	}
+
 	var decodeWG sync.WaitGroup
-	startDecode(ring, src, rec, &r.watermark, rm, &decodeWG)
+	if runErr == nil {
+		startDecode(ring, src, rec, &r.watermark, rm, &decodeWG)
+	} else {
+		close(ring.data)
+	}
 
 	traced := r.stages != nil
-	var runErr error
 	for b := range ring.data {
 		rm.batches.Inc()
 		if traced {
@@ -602,6 +656,12 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 			runErr = es.Err()
 		}
 	}
+	if runErr == nil {
+		// A clean finish closes the WAL; a failed run leaves the
+		// durable files exactly as the sync policy last flushed them
+		// (the crash image recovery consumes).
+		runErr = r.dur.closeWAL()
+	}
 	r.health.finish(runErr)
 	if runErr != nil {
 		// An aborted run can leave grants stranded between the router
@@ -614,7 +674,11 @@ func (e *Engine) runSharded(src event.BatchSource) (*Stats, error) {
 	for _, s := range r.shards {
 		partitions += len(s.table)
 	}
-	return e.collect(rm, workers, partitions, time.Since(r.start)), nil
+	st := e.collect(rm, workers, partitions, time.Since(r.start))
+	if r.dur != nil {
+		st.ReplayedTicks = r.dur.replayed.Value()
+	}
+	return st, nil
 }
 
 // fnv1aBytes is fnv1a over a byte slice (no string conversion, no

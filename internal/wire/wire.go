@@ -1,0 +1,357 @@
+// Package wire implements the compact binary encoding used by the
+// durability subsystem (internal/durability): varint primitives,
+// attribute values, events, and an event table that preserves pointer
+// aliasing across a snapshot round trip.
+//
+// The encoding is deliberately minimal — length-prefixed sections with
+// CRC framing live one layer up, in the durability package. wire only
+// knows how to lay out values; it imports nothing but internal/event.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+// Enc accumulates an encoded byte stream. The zero value is ready to
+// use; Bytes returns the accumulated buffer.
+type Enc struct {
+	b []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.b }
+
+// Len returns the number of bytes encoded so far.
+func (e *Enc) Len() int { return len(e.b) }
+
+// Uvarint appends an unsigned varint.
+func (e *Enc) Uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// Varint appends a zigzag-encoded signed varint.
+func (e *Enc) Varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+
+// Byte appends one raw byte.
+func (e *Enc) Byte(v byte) { e.b = append(e.b, v) }
+
+// U64 appends a fixed-width little-endian uint64 (used for float bits
+// and checksummable fixed fields).
+func (e *Enc) U64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.b = append(e.b, s...)
+}
+
+// Raw appends a length-prefixed opaque byte section.
+func (e *Enc) Raw(p []byte) {
+	e.Uvarint(uint64(len(p)))
+	e.b = append(e.b, p...)
+}
+
+// Time appends an application timestamp.
+func (e *Enc) Time(t event.Time) { e.Varint(int64(t)) }
+
+// Value appends a tagged attribute value.
+func (e *Enc) Value(v event.Value) {
+	e.Byte(byte(v.Kind))
+	switch v.Kind {
+	case event.KindInt, event.KindBool:
+		e.Varint(v.Int)
+	case event.KindFloat:
+		e.U64(math.Float64bits(v.Float))
+	case event.KindString:
+		e.String(v.Str)
+	}
+}
+
+// Event appends a full event: schema index (dense registry position),
+// time interval, arrival stamp, and all attribute values. Arrival is
+// a wall-clock measurement artifact, not part of the event identity —
+// it round-trips so a restored snapshot reproduces latency accounting
+// exactly; WAL replay re-stamps it at dispatch regardless.
+func (e *Enc) Event(ev *event.Event) {
+	e.Uvarint(uint64(ev.Schema.Index()))
+	e.Time(ev.Time.Start)
+	e.Time(ev.Time.End)
+	e.Varint(ev.Arrival)
+	e.Uvarint(uint64(len(ev.Values)))
+	for _, v := range ev.Values {
+		e.Value(v)
+	}
+}
+
+// Dec decodes a byte stream produced by Enc. Errors are sticky: after
+// the first malformed read every subsequent read returns the zero
+// value, and Err reports the failure. This lets restore code decode a
+// whole section without per-call error plumbing.
+type Dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over p.
+func NewDec(p []byte) *Dec { return &Dec{b: p} }
+
+// Err returns the first decoding error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+// Rem returns the number of undecoded bytes remaining.
+func (d *Dec) Rem() int { return len(d.b) - d.off }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format+" at offset %d", append(args, d.off)...)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a zigzag-encoded signed varint.
+func (d *Dec) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.off:])
+	if n <= 0 {
+		d.fail("truncated varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Bool reads a boolean byte.
+func (d *Dec) Bool() bool { return d.Byte() != 0 }
+
+// Byte reads one raw byte.
+func (d *Dec) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.b) {
+		d.fail("truncated byte")
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+// U64 reads a fixed-width little-endian uint64.
+func (d *Dec) U64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.fail("truncated u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string {
+	n := d.Uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("string length %d exceeds remaining %d", n, len(d.b)-d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+// Raw reads a length-prefixed opaque byte section. The returned slice
+// aliases the decoder's buffer; callers must not retain it past the
+// buffer's lifetime without copying.
+func (d *Dec) Raw() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)-d.off) {
+		d.fail("section length %d exceeds remaining %d", n, len(d.b)-d.off)
+		return nil
+	}
+	p := d.b[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return p
+}
+
+// Time reads an application timestamp.
+func (d *Dec) Time() event.Time { return event.Time(d.Varint()) }
+
+// Value reads a tagged attribute value.
+func (d *Dec) Value() event.Value {
+	k := event.Kind(d.Byte())
+	switch k {
+	case event.KindInvalid:
+		return event.Value{}
+	case event.KindInt, event.KindBool:
+		return event.Value{Kind: k, Int: d.Varint()}
+	case event.KindFloat:
+		return event.Value{Kind: k, Float: math.Float64frombits(d.U64())}
+	case event.KindString:
+		return event.Value{Kind: k, Str: d.String()}
+	default:
+		d.fail("invalid value kind %d", k)
+		return event.Value{}
+	}
+}
+
+// Event reads a full event, resolving the schema through reg. The
+// returned event is a fresh heap allocation.
+func (d *Dec) Event(reg *event.Registry) *event.Event {
+	idx := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	schemas := reg.Schemas()
+	if idx >= uint64(len(schemas)) {
+		d.fail("schema index %d out of range (%d registered)", idx, len(schemas))
+		return nil
+	}
+	s := schemas[idx]
+	start := d.Time()
+	end := d.Time()
+	arrival := d.Varint()
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(d.Rem()) {
+		d.fail("value count %d exceeds remaining bytes", n)
+		return nil
+	}
+	vals := make([]event.Value, n)
+	for i := range vals {
+		vals[i] = d.Value()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return &event.Event{
+		Schema:  s,
+		Time:    event.Interval{Start: start, End: end},
+		Arrival: arrival,
+		Values:  vals,
+	}
+}
+
+// EventTable interns event pointers for snapshot encoding so that
+// aliasing survives the round trip: two operators holding the same
+// *event.Event serialize one copy and restore to one shared pointer.
+// IDs are assigned in first-use order; id 0 is reserved for nil.
+type EventTable struct {
+	ids map[*event.Event]uint64
+	evs []*event.Event
+}
+
+// NewEventTable returns an empty table.
+func NewEventTable() *EventTable {
+	return &EventTable{ids: make(map[*event.Event]uint64)}
+}
+
+// ID interns ev and returns its table id (nil events get id 0; real
+// events start at 1).
+func (t *EventTable) ID(ev *event.Event) uint64 {
+	if ev == nil {
+		return 0
+	}
+	if id, ok := t.ids[ev]; ok {
+		return id
+	}
+	t.evs = append(t.evs, ev)
+	id := uint64(len(t.evs)) // 1-based
+	t.ids[ev] = id
+	return id
+}
+
+// Len returns the number of interned events.
+func (t *EventTable) Len() int { return len(t.evs) }
+
+// Encode appends the table to e: a count followed by each interned
+// event in id order. Encode must run after every ID call (sections
+// referencing the table are encoded first into a separate Enc, then
+// stitched after the table by the caller).
+func (t *EventTable) Encode(e *Enc) {
+	e.Uvarint(uint64(len(t.evs)))
+	for _, ev := range t.evs {
+		e.Event(ev)
+	}
+}
+
+// DecodeEventTable reads a table encoded by Encode and returns the
+// restored events indexed so that Lookup(id) mirrors ID(ev). Every
+// event is a fresh heap copy.
+func DecodeEventTable(d *Dec, reg *event.Registry) *RestoredEvents {
+	n := d.Uvarint()
+	if d.err != nil {
+		return &RestoredEvents{}
+	}
+	if n > uint64(d.Rem()) {
+		d.fail("event table count %d exceeds remaining bytes", n)
+		return &RestoredEvents{}
+	}
+	evs := make([]*event.Event, n)
+	for i := range evs {
+		evs[i] = d.Event(reg)
+		if d.err != nil {
+			return &RestoredEvents{}
+		}
+	}
+	return &RestoredEvents{evs: evs}
+}
+
+// RestoredEvents resolves table ids back to restored event pointers.
+type RestoredEvents struct {
+	evs []*event.Event
+}
+
+// Lookup returns the event for a table id (0 → nil). Out-of-range ids
+// record an error on d and return nil.
+func (r *RestoredEvents) Lookup(d *Dec, id uint64) *event.Event {
+	if id == 0 {
+		return nil
+	}
+	if id > uint64(len(r.evs)) {
+		d.fail("event table id %d out of range (%d events)", id, len(r.evs))
+		return nil
+	}
+	return r.evs[id-1]
+}
+
+// Len returns the number of restored events.
+func (r *RestoredEvents) Len() int { return len(r.evs) }

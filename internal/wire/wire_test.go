@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"math"
+	"testing"
+
+	"github.com/caesar-cep/caesar/internal/event"
+)
+
+func testRegistry(t *testing.T) *event.Registry {
+	t.Helper()
+	reg := event.NewRegistry()
+	reg.MustRegister(event.MustSchema("A",
+		event.Field{Name: "x", Kind: event.KindInt},
+		event.Field{Name: "y", Kind: event.KindFloat},
+	))
+	reg.MustRegister(event.MustSchema("B",
+		event.Field{Name: "s", Kind: event.KindString},
+		event.Field{Name: "b", Kind: event.KindBool},
+	))
+	return reg
+}
+
+func TestPrimitivesRoundTrip(t *testing.T) {
+	var e Enc
+	e.Uvarint(0)
+	e.Uvarint(1 << 40)
+	e.Varint(-1)
+	e.Varint(math.MinInt64)
+	e.Varint(math.MaxInt64)
+	e.Bool(true)
+	e.Bool(false)
+	e.Byte(0xfe)
+	e.U64(0xdeadbeefcafef00d)
+	e.String("")
+	e.String("hello|world")
+	e.Raw([]byte{1, 2, 3})
+	e.Time(event.Time(-5))
+
+	d := NewDec(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("uvarint 0: got %d", got)
+	}
+	if got := d.Uvarint(); got != 1<<40 {
+		t.Fatalf("uvarint 1<<40: got %d", got)
+	}
+	if got := d.Varint(); got != -1 {
+		t.Fatalf("varint -1: got %d", got)
+	}
+	if got := d.Varint(); got != math.MinInt64 {
+		t.Fatalf("varint min: got %d", got)
+	}
+	if got := d.Varint(); got != math.MaxInt64 {
+		t.Fatalf("varint max: got %d", got)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("bool round trip failed")
+	}
+	if got := d.Byte(); got != 0xfe {
+		t.Fatalf("byte: got %x", got)
+	}
+	if got := d.U64(); got != 0xdeadbeefcafef00d {
+		t.Fatalf("u64: got %x", got)
+	}
+	if got := d.String(); got != "" {
+		t.Fatalf("empty string: got %q", got)
+	}
+	if got := d.String(); got != "hello|world" {
+		t.Fatalf("string: got %q", got)
+	}
+	raw := d.Raw()
+	if len(raw) != 3 || raw[0] != 1 || raw[2] != 3 {
+		t.Fatalf("raw: got %v", raw)
+	}
+	if got := d.Time(); got != event.Time(-5) {
+		t.Fatalf("time: got %d", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("unexpected err: %v", d.Err())
+	}
+	if d.Rem() != 0 {
+		t.Fatalf("leftover bytes: %d", d.Rem())
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	vals := []event.Value{
+		{},
+		event.Int64(-42),
+		event.Int64(math.MaxInt64),
+		event.Float64(3.14159),
+		event.Float64(math.Inf(-1)),
+		event.String("toll"),
+		event.Bool(true),
+		event.Bool(false),
+	}
+	var e Enc
+	for _, v := range vals {
+		e.Value(v)
+	}
+	d := NewDec(e.Bytes())
+	for i, want := range vals {
+		got := d.Value()
+		if got != want {
+			t.Fatalf("value %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if d.Err() != nil || d.Rem() != 0 {
+		t.Fatalf("err=%v rem=%d", d.Err(), d.Rem())
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	reg := testRegistry(t)
+	a, _ := reg.Lookup("A")
+	b, _ := reg.Lookup("B")
+	evs := []*event.Event{
+		event.MustNew(a, 10, event.Int64(7), event.Float64(1.5)),
+		event.MustNew(b, 20, event.String("k"), event.Bool(true)),
+	}
+	// A derived-style interval event.
+	evs = append(evs, &event.Event{
+		Schema: a,
+		Time:   event.Interval{Start: 5, End: 30},
+		Values: []event.Value{event.Int64(1), event.Float64(2)},
+	})
+	var e Enc
+	for _, ev := range evs {
+		e.Event(ev)
+	}
+	d := NewDec(e.Bytes())
+	for i, want := range evs {
+		got := d.Event(reg)
+		if d.Err() != nil {
+			t.Fatalf("event %d: %v", i, d.Err())
+		}
+		if !got.Equal(want) {
+			t.Fatalf("event %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestEventTablePreservesAliasing(t *testing.T) {
+	reg := testRegistry(t)
+	a, _ := reg.Lookup("A")
+	shared := event.MustNew(a, 1, event.Int64(1), event.Float64(1))
+	other := event.MustNew(a, 2, event.Int64(2), event.Float64(2))
+
+	tab := NewEventTable()
+	id1 := tab.ID(shared)
+	id2 := tab.ID(other)
+	id3 := tab.ID(shared) // same pointer → same id
+	if id1 != id3 || id1 == id2 {
+		t.Fatalf("interning broken: %d %d %d", id1, id2, id3)
+	}
+	if tab.ID(nil) != 0 {
+		t.Fatal("nil must intern to 0")
+	}
+
+	var body Enc
+	body.Uvarint(id1)
+	body.Uvarint(id2)
+	body.Uvarint(id3)
+
+	var out Enc
+	tab.Encode(&out)
+	out.Raw(body.Bytes())
+
+	d := NewDec(out.Bytes())
+	restored := DecodeEventTable(d, reg)
+	if d.Err() != nil {
+		t.Fatalf("decode table: %v", d.Err())
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored %d events, want 2", restored.Len())
+	}
+	bd := NewDec(d.Raw())
+	r1 := restored.Lookup(bd, bd.Uvarint())
+	r2 := restored.Lookup(bd, bd.Uvarint())
+	r3 := restored.Lookup(bd, bd.Uvarint())
+	if bd.Err() != nil {
+		t.Fatalf("decode body: %v", bd.Err())
+	}
+	if r1 != r3 {
+		t.Fatal("aliasing lost: shared event restored to two pointers")
+	}
+	if r1 == r2 {
+		t.Fatal("distinct events restored to one pointer")
+	}
+	if !r1.Equal(shared) || !r2.Equal(other) {
+		t.Fatal("restored event content mismatch")
+	}
+	if r1 == shared {
+		t.Fatal("restore must heap-copy, not alias the source event")
+	}
+}
+
+func TestDecoderErrorsAreSticky(t *testing.T) {
+	d := NewDec([]byte{0x80}) // truncated uvarint
+	_ = d.Uvarint()
+	if d.Err() == nil {
+		t.Fatal("want error on truncated uvarint")
+	}
+	first := d.Err()
+	_ = d.String()
+	_ = d.Value()
+	if d.Err() != first {
+		t.Fatal("error must be sticky")
+	}
+}
+
+func TestDecoderRejectsBadLengths(t *testing.T) {
+	var e Enc
+	e.Uvarint(1 << 50) // absurd string length
+	d := NewDec(e.Bytes())
+	_ = d.String()
+	if d.Err() == nil {
+		t.Fatal("want error on oversized string length")
+	}
+
+	var e2 Enc
+	e2.Uvarint(99) // schema index out of range
+	d2 := NewDec(e2.Bytes())
+	_ = d2.Event(event.NewRegistry())
+	if d2.Err() == nil {
+		t.Fatal("want error on schema index out of range")
+	}
+}

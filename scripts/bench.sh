@@ -4,11 +4,13 @@
 # family (decoder, batcher, end-to-end wire/batch/sync) into
 # BENCH_ingest.json, the sharded runtime's scaling series
 # (BenchmarkEngineSharded/shards=1..8 on the dispatch-bound workload,
-# tracer on at the default rate) into BENCH_scaling.json, and the
+# tracer on at the default rate) into BENCH_scaling.json, the
 # stage tracer's per-stage latency breakdown (from
 # BenchmarkEngineShardedTraced's custom metrics) into
-# BENCH_stages.json, all at the repo root. Pure POSIX sh + awk; no
-# dependencies beyond the go toolchain.
+# BENCH_stages.json, and the durability family (WAL append,
+# snapshot round trip, recovery replay) into BENCH_durability.json,
+# all at the repo root. Pure POSIX sh + awk; no dependencies beyond
+# the go toolchain.
 #
 # Usage: scripts/bench.sh [count]   (default benchmark -count is 3;
 # the median run per benchmark is reported)
@@ -20,7 +22,8 @@ tmp=$(mktemp)
 tmp2=$(mktemp)
 tmp3=$(mktemp)
 tmp4=$(mktemp)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
+tmp5=$(mktemp)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
 
 echo "== running pattern kernel benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkPattern' -benchmem -count="$count" \
@@ -44,6 +47,12 @@ go test -run=NONE -bench='BenchmarkEngineDerivedHeavy$' -benchmem -count="$count
 echo "== running stage tracing benchmarks (count=$count)" >&2
 go test -run=NONE -bench='BenchmarkEngineShardedTraced|BenchmarkDistributorTraced' \
     -benchmem -count="$count" ./internal/runtime/ | tee -a "$tmp4" >&2
+
+echo "== running durability benchmarks (count=$count)" >&2
+go test -run=NONE -bench='BenchmarkWALAppend' -benchmem -count="$count" \
+    ./internal/durability/ | tee -a "$tmp5" >&2
+go test -run=NONE -bench='BenchmarkSnapshotRoundTrip|BenchmarkRecoveryReplay' \
+    -benchmem -count="$count" ./internal/runtime/ | tee -a "$tmp5" >&2
 
 # Parse `BenchmarkName  N  t ns/op [x ns/event|x events/op]  b B/op
 # a allocs/op` lines, take the median ns/op run per benchmark, and
@@ -100,6 +109,10 @@ cat BENCH_ingest.json
 awk "$render_json" "$tmp3" > BENCH_scaling.json
 echo "== wrote BENCH_scaling.json" >&2
 cat BENCH_scaling.json
+
+awk "$render_json" "$tmp5" > BENCH_durability.json
+echo "== wrote BENCH_durability.json" >&2
+cat BENCH_durability.json
 
 # Parse the stage tracer's custom metrics (`v <stage>_pNN_ns` pairs on
 # the traced benchmark lines), pick the median run by ns/op, and emit

@@ -123,4 +123,16 @@ echo "== go test -race (derived arena differential)"
 go test -race -count=2 -run 'TestDerivedChainSurvivesReclamation|TestRunReuseIdenticalOutputs' ./internal/runtime/
 go test -race -run 'TestDerivedArenaTollByteIdentical' .
 
+# PR 10: crash recovery differential under the race detector — a run
+# killed at a tick boundary and recovered (snapshot restore + WAL
+# replay + live dedup) must reproduce an uninterrupted run's output
+# byte for byte on both runtimes, plus the WAL torn-write fuzz and
+# snapshot round-trip property tests. The WAL-disabled hot paths are
+# covered by the 0 allocs/op guards above (BenchmarkDistributor and
+# BenchmarkShardRouter run without a durable dir, so durability may
+# add nothing but nil checks there).
+echo "== go test -race (durability: crash recovery differential)"
+go test -race -count=2 -run 'TestCrashRecoveryDifferential|TestDurableResumeAfterCleanFinish' ./internal/runtime/
+go test -race -count=2 ./internal/durability/ ./internal/wire/
+
 echo "== ci OK"
