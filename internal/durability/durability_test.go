@@ -406,6 +406,98 @@ func TestWALResumeAfterReplay(t *testing.T) {
 	}
 }
 
+// TestWALReopenAfterEmptyLeftoverSegment: a crash can leave a segment
+// holding nothing durable — just the magic header under the async sync
+// policy, or a torn first frame that replay truncates back to the
+// header. Replay delivers nothing from it, so the resumed run re-feeds
+// and re-appends the very tick naming the file; OpenWAL must clear the
+// leftover or the O_EXCL segment create wedges every restart.
+func TestWALReopenAfterEmptyLeftoverSegment(t *testing.T) {
+	reg := testRegistry()
+	rng := rand.New(rand.NewSource(6))
+	leftovers := map[string][]byte{
+		"magic-only": []byte(walMagic),
+		"zero-byte":  nil,
+		"torn-frame": append([]byte(walMagic), 0xff, 0xff, 0xff),
+	}
+	for name, content := range leftovers {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(filepath.Join(dir, segName(5)), content, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			got, _, ok := collectReplay(t, dir, reg)
+			if ok || len(got) != 0 {
+				t.Fatalf("replayed %d ticks from an empty leftover", len(got))
+			}
+			w, err := OpenWAL(dir, SyncPerTick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs := mkTick(reg, rng, 5)
+			if err := w.Append(5, evs); err != nil {
+				t.Fatalf("append after empty leftover segment: %v", err)
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			got, last, ok := collectReplay(t, dir, reg)
+			if !ok || last != 5 {
+				t.Fatalf("last=%d ok=%v after resume, want tick 5", last, ok)
+			}
+			sameTicks(t, got, []tickLog{{5, evs}})
+		})
+	}
+}
+
+// TestWALMidLogCorruptionFailsReplay: only the final segment's tail
+// can legitimately be torn — rotation fsyncs a segment before closing
+// it. A bad frame in a non-final segment is disk corruption, and
+// replaying the later segments past the gap would silently diverge
+// state; recovery must fail instead.
+func TestWALMidLogCorruptionFailsReplay(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	pos, _ := reg.Lookup("Pos")
+	tag, _ := reg.Lookup("Tag")
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := string(bytes.Repeat([]byte("x"), 64<<10))
+	for tk := event.Time(0); tk < 200; tk++ {
+		evs := []*event.Event{
+			event.MustNew(pos, tk, event.Int64(int64(tk)), event.Float64(1)),
+			event.MustNew(tag, tk, event.String(blob)),
+		}
+		if err := w.Append(tk, evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, got %d (%v)", len(segs), err)
+	}
+	// Flip a payload byte inside the first (non-final) segment's first
+	// frame: its readable prefix ends mid-log while later segments
+	// still hold frames.
+	data, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(walMagic)+frameadmin+10] ^= 0x40
+	if err := os.WriteFile(segs[0].path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReplayWAL(dir, reg, func(event.Time, []*event.Event) error { return nil })
+	if err == nil {
+		t.Fatal("replay silently skipped a mid-log corruption gap")
+	}
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	sections := []Section{
@@ -475,6 +567,9 @@ func TestSnapshotCorruptFallsBack(t *testing.T) {
 
 func TestSnapshotPrunesOld(t *testing.T) {
 	dir := t.TempDir()
+	if _, ok := OldestSnapshotTick(dir); ok {
+		t.Fatal("empty dir reported a snapshot")
+	}
 	for _, tk := range []event.Time{1, 2, 3, 4} {
 		if _, err := WriteSnapshot(dir, tk, "fp", nil); err != nil {
 			t.Fatal(err)
@@ -483,6 +578,101 @@ func TestSnapshotPrunesOld(t *testing.T) {
 	ticks := listSnapshots(dir)
 	if len(ticks) != 2 || ticks[0] != 3 || ticks[1] != 4 {
 		t.Fatalf("want snapshots [3 4], got %v", ticks)
+	}
+	if oldest, ok := OldestSnapshotTick(dir); !ok || oldest != 3 {
+		t.Fatalf("OldestSnapshotTick = %d, %v; want 3", oldest, ok)
+	}
+}
+
+// TestSnapshotFallbackKeepsWALContiguous replays the reviewed failure
+// end to end at the file layer: checkpoints that truncate the WAL to
+// the *newest* snapshot leave a frame gap (S1, S2] when recovery has
+// to fall back from a corrupt newest image to the older one. Using
+// the checkpoint sequence the runtime runs — WriteSnapshot, then
+// Truncate to OldestSnapshotTick — every tick after the fallback
+// image must still replay, across real segment rotations.
+func TestSnapshotFallbackKeepsWALContiguous(t *testing.T) {
+	dir := t.TempDir()
+	reg := testRegistry()
+	pos, _ := reg.Lookup("Pos")
+	tag, _ := reg.Lookup("Tag")
+	w, err := OpenWAL(dir, SyncAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := string(bytes.Repeat([]byte("x"), 64<<10))
+	appendRange := func(from, to event.Time) {
+		t.Helper()
+		for tk := from; tk <= to; tk++ {
+			evs := []*event.Event{
+				event.MustNew(pos, tk, event.Int64(int64(tk)), event.Float64(1)),
+				event.MustNew(tag, tk, event.String(blob)),
+			}
+			if err := w.Append(tk, evs); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	checkpoint := func(snapTick event.Time) {
+		t.Helper()
+		if _, err := WriteSnapshot(dir, snapTick, "fp", nil); err != nil {
+			t.Fatal(err)
+		}
+		bound := snapTick
+		if oldest, ok := OldestSnapshotTick(dir); ok && oldest < bound {
+			bound = oldest
+		}
+		if err := w.Truncate(bound); err != nil {
+			t.Fatal(err)
+		}
+	}
+	appendRange(0, 100)
+	checkpoint(100)
+	appendRange(101, 200)
+	checkpoint(200)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs, err := listSegments(dir); err != nil || len(segs) < 2 {
+		t.Fatalf("want rotation and partial truncation to leave ≥2 segments, got %d (%v)", len(segs), err)
+	}
+
+	// Corrupt the newest snapshot; loading must fall back to tick 100.
+	newest := filepath.Join(dir, snapName(200))
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadLatestSnapshot(dir, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil || snap.Tick != 100 {
+		t.Fatalf("want fallback to tick 100, got %+v", snap)
+	}
+
+	// Every tick after the fallback image must still be in the WAL —
+	// a gap here is exactly the silent state divergence under review.
+	next := snap.Tick + 1
+	_, _, err = ReplayWAL(dir, reg, func(tk event.Time, evs []*event.Event) error {
+		if tk <= snap.Tick {
+			return nil
+		}
+		if tk != next {
+			t.Fatalf("WAL gap after fallback: got tick %d, want %d", tk, next)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 201 {
+		t.Fatalf("replay after fallback stopped at tick %d, want through 200", next-1)
 	}
 }
 

@@ -163,6 +163,21 @@ func LoadLatestSnapshot(dir, fingerprint string) (*Snapshot, error) {
 	return nil, nil
 }
 
+// OldestSnapshotTick reports the tick of the oldest snapshot file
+// retained in dir (ok=false when none exists). The WAL truncates to
+// this tick — not the newest snapshot's — so that recovery's fallback
+// from a corrupt newest image to the older one still finds every WAL
+// frame after the older image's tick. Name-based on purpose: decoding
+// every retained image at each checkpoint would double the I/O, and a
+// corrupt oldest image only makes the bound more conservative.
+func OldestSnapshotTick(dir string) (event.Time, bool) {
+	ticks := listSnapshots(dir)
+	if len(ticks) == 0 {
+		return 0, false
+	}
+	return ticks[0], true
+}
+
 // LatestSnapshotTick reports the tick of the newest decodable
 // snapshot in dir (ok=false when none exists). Test helper and admin
 // surface; it does not check the fingerprint.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -89,7 +90,12 @@ type WAL struct {
 // OpenWAL opens (creating if needed) a WAL directory for appending.
 // Pre-existing segments — the tail of a crashed run — are recorded so
 // Truncate can reclaim them after the next checkpoint; appends always
-// start a fresh segment.
+// start a fresh segment. Leftover segments that hold no valid frame
+// (a crash before the first frame became durable, or a torn first
+// frame that replay truncated back to the header) are removed: the
+// tick naming them was never replayed, so the resumed run re-appends
+// it, and keeping the file would wedge that append — and every
+// restart after it — on the O_EXCL segment create.
 func OpenWAL(dir string, syncEvery int) (*WAL, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("durability: open wal: %w", err)
@@ -100,10 +106,45 @@ func OpenWAL(dir string, syncEvery int) (*WAL, error) {
 		return nil, err
 	}
 	for _, s := range segs {
+		if !segmentHasFrame(s.path, s.size) {
+			if err := os.Remove(s.path); err != nil && !os.IsNotExist(err) {
+				return nil, fmt.Errorf("durability: remove empty segment: %w", err)
+			}
+			continue
+		}
 		w.segs = append(w.segs, s)
 		w.totalBytes += s.size
 	}
 	return w, nil
+}
+
+// segmentHasFrame reports whether the segment at path starts with the
+// WAL magic followed by at least one CRC-valid frame — i.e. whether
+// replay can deliver anything from it. size is the segment's length on
+// disk (from listSegments), bounding the frame header's length field.
+func segmentHasFrame(path string, size int64) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var hdr [len(walMagic) + frameadmin]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return false
+	}
+	if string(hdr[:len(walMagic)]) != walMagic {
+		return false
+	}
+	plen := int64(binary.LittleEndian.Uint32(hdr[len(walMagic) : len(walMagic)+4]))
+	crc := binary.LittleEndian.Uint32(hdr[len(walMagic)+4:])
+	if int64(len(hdr))+plen > size {
+		return false
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(payload) == crc
 }
 
 // listSegments returns the WAL segment files under dir sorted by
@@ -306,10 +347,14 @@ func (w *WAL) LastTick() (event.Time, bool) { return w.lastTick, w.haveTick }
 // whose tick is ≤ the highest tick already delivered are skipped
 // (overlap across segments after repeated crashes). An invalid frame
 // — bad CRC, impossible length, torn tail — ends that segment's
-// readable prefix: the rest of the segment is skipped and, for the
-// final segment, the file is physically truncated to the valid
-// prefix so the tail never resurfaces. Returns the highest tick
-// delivered (ok=false when the WAL held no valid frames).
+// readable prefix. Only the final segment's tail can legitimately be
+// torn (rotation fsyncs a segment before closing it), so the final
+// segment is physically truncated to its valid prefix so the tail
+// never resurfaces, while an invalid frame in a non-final segment is
+// disk corruption: if any later segment still holds frames, replaying
+// past the gap would silently diverge state, so recovery fails with
+// an error instead. Returns the highest tick delivered (ok=false when
+// the WAL held no valid frames).
 func ReplayWAL(dir string, reg *event.Registry, fn func(tick event.Time, evs []*event.Event) error) (last event.Time, ok bool, err error) {
 	segs, err := listSegments(dir)
 	if err != nil {
@@ -323,11 +368,22 @@ func ReplayWAL(dir string, reg *event.Registry, fn func(tick event.Time, evs []*
 		if serr != nil {
 			return last, ok, serr
 		}
-		if validLen >= 0 && i == len(segs)-1 {
+		if validLen < 0 {
+			continue // segment read cleanly end to end
+		}
+		if i == len(segs)-1 {
 			// Torn tail on the final segment: truncate it away so a
 			// later reopen appends after a clean prefix.
 			if terr := os.Truncate(s.path, validLen); terr != nil {
 				return last, ok, fmt.Errorf("durability: truncate torn tail: %w", terr)
+			}
+			continue
+		}
+		for _, later := range segs[i+1:] {
+			if segmentHasFrame(later.path, later.size) {
+				return last, ok, fmt.Errorf(
+					"durability: segment %s is corrupt mid-log (valid prefix %d of %d bytes) with later frames in %s; refusing to replay past the gap",
+					filepath.Base(s.path), validLen, s.size, filepath.Base(later.path))
 			}
 		}
 	}

@@ -218,9 +218,9 @@ func (ds *durableState) tickDone() bool {
 }
 
 // checkpoint serializes the quiesced partition states, writes the
-// snapshot atomically and truncates the WAL to it. The caller holds
-// the quiesce barrier: every dispatched tick ≤ ts is fully executed
-// and its outputs delivered.
+// snapshot atomically and truncates the WAL to the oldest snapshot
+// still retained. The caller holds the quiesce barrier: every
+// dispatched tick ≤ ts is fully executed and its outputs delivered.
 func (ds *durableState) checkpoint(ts event.Time, parts []partSnap) error {
 	start := time.Now()
 	sort.Slice(parts, func(i, j int) bool { return parts[i].key < parts[j].key })
@@ -236,8 +236,17 @@ func (ds *durableState) checkpoint(ts event.Time, parts []partSnap) error {
 	if err != nil {
 		return fmt.Errorf("runtime: checkpoint t=%d: %w", ts, err)
 	}
-	if err := ds.wal.Truncate(ts); err != nil {
-		return fmt.Errorf("runtime: wal truncate to t=%d: %w", ts, err)
+	// Truncate only up to the oldest retained snapshot, not ts: if the
+	// snapshot just written turns out corrupt at recovery time,
+	// LoadLatestSnapshot falls back to the older image, and that
+	// fallback is sound only while the WAL still holds every frame
+	// after the older image's tick.
+	bound := ts
+	if oldest, ok := durability.OldestSnapshotTick(ds.dir); ok && oldest < bound {
+		bound = oldest
+	}
+	if err := ds.wal.Truncate(bound); err != nil {
+		return fmt.Errorf("runtime: wal truncate to t=%d: %w", bound, err)
 	}
 	ds.checkpoints.Inc()
 	ds.ckptBytes.Set(n)
